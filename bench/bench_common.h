@@ -1,0 +1,105 @@
+#ifndef CAMAL_BENCH_BENCH_COMMON_H_
+#define CAMAL_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the per-figure benchmark harnesses. Each bench binary
+// regenerates one table/figure of the paper on the simulated substrate:
+// absolute numbers differ from the paper's NVMe testbed, but the relative
+// shapes (who wins, by what factor, where crossovers fall) are the point.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "camal/bayes_tuner.h"
+#include "camal/camal_tuner.h"
+#include "camal/classic_tuner.h"
+#include "camal/evaluator.h"
+#include "camal/grid_tuner.h"
+#include "camal/plain_al_tuner.h"
+#include "workload/tables.h"
+
+namespace camal::bench {
+
+using RecommendForWorkload =
+    std::function<tune::TuningConfig(const model::WorkloadSpec&)>;
+
+/// Aggregate of evaluating one recommendation function across workloads.
+struct SuiteStats {
+  double mean_latency_us = 0.0;
+  double mean_p90_us = 0.0;
+  double mean_ios = 0.0;
+};
+
+/// Evaluates `recommend` on every workload with the evaluator's eval_ops
+/// budget and averages the metrics. Each (workload, config) pair is
+/// measured at `reps` different compaction-fullness phases.
+inline SuiteStats EvaluateSuite(
+    const tune::Evaluator& evaluator, const RecommendForWorkload& recommend,
+    const std::vector<model::WorkloadSpec>& workloads, uint64_t salt = 0,
+    int reps = 2) {
+  SuiteStats stats;
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const tune::TuningConfig config = recommend(workloads[i]);
+    for (int rep = 0; rep < reps; ++rep) {
+      const tune::Measurement m = evaluator.Evaluate(
+          workloads[i], config,
+          salt * 1000 + i + static_cast<uint64_t>(rep) * 131);
+      stats.mean_latency_us += m.mean_latency_ns / 1e3;
+      stats.mean_p90_us += m.p90_latency_ns / 1e3;
+      stats.mean_ios += m.ios_per_op;
+    }
+  }
+  const double n = static_cast<double>(workloads.size()) * reps;
+  stats.mean_latency_us /= n;
+  stats.mean_p90_us /= n;
+  stats.mean_ios /= n;
+  return stats;
+}
+
+/// The sampling strategies compared throughout Section 8.
+enum class Strategy { kCamal, kPlainAl, kBayes, kPlainMl };
+
+inline const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kCamal:
+      return "CAMAL";
+    case Strategy::kPlainAl:
+      return "Plain AL";
+    case Strategy::kBayes:
+      return "Bayes";
+    case Strategy::kPlainMl:
+      return "Plain ML";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<tune::ModelBackedTuner> MakeStrategy(
+    Strategy strategy, const tune::SystemSetup& setup,
+    const tune::TunerOptions& options) {
+  switch (strategy) {
+    case Strategy::kCamal:
+      return std::make_unique<tune::CamalTuner>(setup, options);
+    case Strategy::kPlainAl:
+      return std::make_unique<tune::PlainAlTuner>(setup, options);
+    case Strategy::kBayes:
+      return std::make_unique<tune::BayesOptTuner>(setup, options);
+    case Strategy::kPlainMl:
+      return std::make_unique<tune::GridTuner>(setup, options);
+  }
+  return nullptr;
+}
+
+/// Simulated sampling cost in minutes (the paper's "sampling hours" axis,
+/// at the reproduction's reduced scale).
+inline double SimMinutes(double ns) { return ns / 6e10; }
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace camal::bench
+
+#endif  // CAMAL_BENCH_BENCH_COMMON_H_

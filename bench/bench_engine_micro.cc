@@ -1,0 +1,132 @@
+// Engine micro-benchmarks (google-benchmark): wall-clock cost of the core
+// LSM operations and ML primitives. These measure the *reproduction's own*
+// implementation speed (not the simulated latency the figures report).
+
+#include <benchmark/benchmark.h>
+
+#include "lsm/bloom.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/monkey.h"
+#include "ml/gbdt.h"
+#include "ml/poly.h"
+#include "model/optimum.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace {
+
+camal::sim::DeviceConfig QuietDevice() {
+  camal::sim::DeviceConfig cfg;
+  cfg.io_jitter_frac = 0.0;
+  return cfg;
+}
+
+camal::lsm::Options DefaultOptions() {
+  camal::lsm::Options opts;
+  opts.entry_bytes = 128;
+  opts.buffer_bytes = 128 * 256;
+  opts.bloom_bits = 10 * 40000;
+  return opts;
+}
+
+void BM_LsmPut(benchmark::State& state) {
+  camal::sim::Device device(QuietDevice());
+  camal::lsm::LsmTree tree(DefaultOptions(), &device);
+  camal::util::Random rng(1);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    tree.Put(rng.Next() % (1 << 22), ++key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LsmPut);
+
+void BM_LsmGetHit(benchmark::State& state) {
+  camal::sim::Device device(QuietDevice());
+  camal::lsm::LsmTree tree(DefaultOptions(), &device);
+  for (uint64_t k = 1; k <= 40000; ++k) tree.Put(2 * k, k);
+  camal::util::Random rng(2);
+  uint64_t value = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(2 * (1 + rng.Uniform(40000)), &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LsmGetHit);
+
+void BM_LsmGetMiss(benchmark::State& state) {
+  camal::sim::Device device(QuietDevice());
+  camal::lsm::LsmTree tree(DefaultOptions(), &device);
+  for (uint64_t k = 1; k <= 40000; ++k) tree.Put(2 * k, k);
+  camal::util::Random rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(2 * rng.Uniform(40000) + 1, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LsmGetMiss);
+
+void BM_LsmScan(benchmark::State& state) {
+  camal::sim::Device device(QuietDevice());
+  camal::lsm::LsmTree tree(DefaultOptions(), &device);
+  for (uint64_t k = 1; k <= 40000; ++k) tree.Put(2 * k, k);
+  camal::util::Random rng(4);
+  std::vector<camal::lsm::Entry> out;
+  for (auto _ : state) {
+    out.clear();
+    tree.Scan(2 * rng.Uniform(40000), 16, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LsmScan);
+
+void BM_BloomProbe(benchmark::State& state) {
+  camal::lsm::BloomFilter filter(40000, 10.0);
+  for (uint64_t k = 0; k < 40000; ++k) filter.Add(2 * k);
+  camal::util::Random rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayContain(rng.Next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_MonkeyAllocate(benchmark::State& state) {
+  const std::vector<uint64_t> levels = {300, 2700, 24300, 218700};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(camal::lsm::MonkeyAllocate(10.0 * 246000, levels));
+  }
+}
+BENCHMARK(BM_MonkeyAllocate);
+
+void BM_TheoreticalOptimum(benchmark::State& state) {
+  camal::model::SystemParams params;
+  camal::model::CostModel cm(params);
+  camal::model::WorkloadSpec w{0.25, 0.25, 0.25, 0.25};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        camal::model::MinimizeCost(w, cm, camal::lsm::CompactionPolicy::kLeveling));
+  }
+}
+BENCHMARK(BM_TheoreticalOptimum);
+
+void BM_GbdtFitPredict(benchmark::State& state) {
+  camal::util::Random rng(6);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 90; ++i) {
+    x.push_back({rng.NextDouble(), rng.NextDouble(), rng.NextDouble()});
+    y.push_back(x.back()[0] * 3 + x.back()[1]);
+  }
+  for (auto _ : state) {
+    camal::ml::Gbdt gbdt;
+    gbdt.Fit(x, y);
+    benchmark::DoNotOptimize(gbdt.Predict(x[0]));
+  }
+}
+BENCHMARK(BM_GbdtFitPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

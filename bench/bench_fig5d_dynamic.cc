@@ -1,0 +1,141 @@
+// Figure 5d: system latency and I/Os per query across the 24 shifting
+// Table-2 workloads, on a single live store whose data grows throughout.
+// Classic and Monkey are statically configured once (for the average mix);
+// CAMAL (Poly and Trees) drives the dynamic LSM-tree, re-tuning via the
+// shift detector and applying changes lazily.
+//
+// Expected shape (paper): CAMAL tracks the shifts and wins on most phases —
+// dramatically so on write-heavy stretches (multi-x); the static baselines
+// are stable but slow.
+
+#include "bench_common.h"
+
+#include "camal/dynamic_tuner.h"
+
+namespace camal::bench {
+namespace {
+
+struct PhaseRow {
+  double latency_us = 0.0;
+  double ios = 0.0;
+};
+
+std::vector<PhaseRow> RunStatic(const tune::SystemSetup& setup,
+                                const tune::TuningConfig& config,
+                                size_t ops_per_phase) {
+  sim::Device device(setup.device);
+  workload::KeySpace keys(setup.num_entries, setup.seed);
+  lsm::LsmTree tree(config.ToOptions(setup), &device);
+  workload::BulkLoad(&tree, keys);
+
+  std::vector<PhaseRow> rows;
+  const auto phases = workload::ShiftingWorkloads();
+  for (size_t i = 0; i < phases.size(); ++i) {
+    workload::ExecutorConfig exec;
+    exec.num_ops = ops_per_phase;
+    exec.generator.scan_len = setup.scan_len;
+    exec.generator.insert_new_keys = true;  // the data grows, as in 5d
+    exec.seed = i + 1;
+    const auto result = workload::Execute(&tree, phases[i], exec, &keys);
+    rows.push_back({result.MeanLatencyNs() / 1e3, result.IosPerOp()});
+  }
+  return rows;
+}
+
+std::vector<PhaseRow> RunDynamic(const tune::SystemSetup& setup,
+                                 tune::ModelBackedTuner* tuner,
+                                 size_t ops_per_phase) {
+  sim::Device device(setup.device);
+  workload::KeySpace keys(setup.num_entries, setup.seed);
+  lsm::LsmTree tree(tune::MonkeyDefaultConfig(setup).ToOptions(setup),
+                    &device);
+  workload::BulkLoad(&tree, keys);
+
+  tune::DynamicTuner::Params params;
+  params.window_ops = 1000;
+  params.tau = 0.10;
+  tune::DynamicTuner dynamic(
+      [tuner](const model::WorkloadSpec& w,
+              const model::SystemParams& target) {
+        return tuner->RecommendFor(w, target);
+      },
+      setup, params);
+
+  std::vector<PhaseRow> rows;
+  const auto phases = workload::ShiftingWorkloads();
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const auto result =
+        dynamic.RunPhase(&tree, &keys, phases[i], ops_per_phase, i + 1);
+    rows.push_back({result.MeanLatencyNs() / 1e3, result.IosPerOp()});
+  }
+  return rows;
+}
+
+void Run() {
+  tune::SystemSetup setup;
+  const size_t ops_per_phase = 6000;
+  const auto train = workload::TrainingWorkloads();
+
+  // Static baselines, configured for the average Table-2 mix.
+  model::WorkloadSpec average{0.25, 0.25, 0.25, 0.25};
+  tune::ClassicTuner classic(setup, tune::TunerOptions{});
+  tune::MonkeyTuner monkey(setup);
+  const auto classic_rows =
+      RunStatic(setup, classic.Recommend(average), ops_per_phase);
+  const auto monkey_rows =
+      RunStatic(setup, monkey.Recommend(average), ops_per_phase);
+
+  // CAMAL, trained once at 1/10 scale, then driving the dynamic tree.
+  auto train_camal = [&](tune::ModelKind model) {
+    tune::TunerOptions options;
+    options.model_kind = model;
+    options.extrapolation_factor = 10.0;
+    auto tuner = std::make_unique<tune::CamalTuner>(setup, options);
+    tuner->Train(train);
+    return tuner;
+  };
+  auto poly = train_camal(tune::ModelKind::kPoly);
+  auto trees = train_camal(tune::ModelKind::kTrees);
+  const auto poly_rows = RunDynamic(setup, poly.get(), ops_per_phase);
+  const auto trees_rows = RunDynamic(setup, trees.get(), ops_per_phase);
+
+  std::printf("Figure 5d: dynamic test workloads (Table 2), %zu ops per "
+              "phase, growing data\n\n",
+              ops_per_phase);
+  std::printf("System latency per op (us):\n");
+  std::printf("%4s %10s %10s %12s %12s\n", "ph", "Classic", "Monkey",
+              "CAMAL(Poly)", "CAMAL(Trees)");
+  PrintRule(54);
+  for (size_t i = 0; i < classic_rows.size(); ++i) {
+    std::printf("%4zu %10.1f %10.1f %12.1f %12.1f\n", i + 1,
+                classic_rows[i].latency_us, monkey_rows[i].latency_us,
+                poly_rows[i].latency_us, trees_rows[i].latency_us);
+  }
+  std::printf("\nI/Os per query:\n");
+  std::printf("%4s %10s %10s %12s %12s\n", "ph", "Classic", "Monkey",
+              "CAMAL(Poly)", "CAMAL(Trees)");
+  PrintRule(54);
+  for (size_t i = 0; i < classic_rows.size(); ++i) {
+    std::printf("%4zu %10.2f %10.2f %12.2f %12.2f\n", i + 1,
+                classic_rows[i].ios, monkey_rows[i].ios, poly_rows[i].ios,
+                trees_rows[i].ios);
+  }
+
+  auto total = [](const std::vector<PhaseRow>& rows) {
+    double lat = 0.0;
+    for (const PhaseRow& r : rows) lat += r.latency_us;
+    return lat / static_cast<double>(rows.size());
+  };
+  std::printf("\nmean latency/op: Classic=%.1fus Monkey=%.1fus "
+              "CAMAL(Poly)=%.1fus CAMAL(Trees)=%.1fus\n",
+              total(classic_rows), total(monkey_rows), total(poly_rows),
+              total(trees_rows));
+}
+
+}  // namespace
+}  // namespace camal::bench
+
+int main() {
+  camal::bench::Run();
+  return 0;
+}

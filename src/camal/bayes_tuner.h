@@ -1,0 +1,30 @@
+#ifndef CAMAL_CAMAL_BAYES_TUNER_H_
+#define CAMAL_CAMAL_BAYES_TUNER_H_
+
+#include <vector>
+
+#include "camal/tuner.h"
+#include "ml/gp.h"
+
+namespace camal::tune {
+
+/// Bayesian-optimization baseline: per training workload, an independent
+/// Gaussian process with expected-improvement acquisition explores the
+/// joint configuration space from a random initialization (the standard
+/// BayesianOptimization-package setup the paper compares against). A final
+/// model of the configured family is fit on all gathered samples so the
+/// tuner can also recommend for unseen workloads.
+class BayesOptTuner : public ModelBackedTuner {
+ public:
+  BayesOptTuner(const SystemSetup& full_setup, const TunerOptions& options);
+
+  void Train(const std::vector<model::WorkloadSpec>& workloads) override;
+
+ private:
+  std::vector<double> GpFeatures(const TuningConfig& c,
+                                 const model::SystemParams& sys) const;
+};
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_BAYES_TUNER_H_

@@ -1,0 +1,50 @@
+#ifndef CAMAL_CAMAL_CLASSIC_TUNER_H_
+#define CAMAL_CAMAL_CLASSIC_TUNER_H_
+
+#include <vector>
+
+#include "camal/tuner.h"
+
+namespace camal::tune {
+
+/// "Classic" tuning baseline (Endure's nominal tuner): minimizes the
+/// closed-form I/O cost model exactly — no samples, no learning.
+class ClassicTuner : public TunerBase {
+ public:
+  ClassicTuner(const SystemSetup& setup, const TunerOptions& options);
+
+  /// No-op: classic tuning needs no training samples.
+  void Train(const std::vector<model::WorkloadSpec>& workloads) override;
+
+  TuningConfig Recommend(const model::WorkloadSpec& w) const override;
+
+  /// Recommendation at an arbitrary target scale.
+  TuningConfig RecommendFor(const model::WorkloadSpec& w,
+                            const model::SystemParams& target) const;
+
+ private:
+  SystemSetup setup_;
+  TunerOptions options_;
+};
+
+/// Fixed "well-tuned RocksDB" baseline: leveling, T = 10, 10 bits/key
+/// Bloom memory with Monkey allocation, remaining budget to the buffer.
+/// With `use_cache` (the paper's "Classic (Cache)" row) 20% of the budget
+/// goes to the block cache.
+class MonkeyTuner : public TunerBase {
+ public:
+  MonkeyTuner(const SystemSetup& setup, bool use_cache = false);
+
+  void Train(const std::vector<model::WorkloadSpec>& workloads) override;
+  TuningConfig Recommend(const model::WorkloadSpec& w) const override;
+  TuningConfig RecommendFor(const model::WorkloadSpec& w,
+                            const model::SystemParams& target) const;
+
+ private:
+  SystemSetup setup_;
+  bool use_cache_;
+};
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_CLASSIC_TUNER_H_

@@ -1,0 +1,74 @@
+#include "camal/dynamic_tuner.h"
+
+#include <vector>
+
+#include "camal/extrapolation.h"
+
+namespace camal::tune {
+
+DynamicTuner::DynamicTuner(RecommendFn recommend,
+                           const SystemSetup& base_setup, const Params& params)
+    : recommend_(std::move(recommend)),
+      base_setup_(base_setup),
+      params_(params),
+      detector_(params.window_ops, params.tau) {}
+
+workload::ExecutionResult DynamicTuner::RunPhase(
+    lsm::LsmTree* tree, workload::KeySpace* keys,
+    const model::WorkloadSpec& spec, size_t num_ops, uint64_t seed) {
+  workload::ExecutionResult result;
+  workload::GeneratorConfig gen_cfg;
+  gen_cfg.scan_len = base_setup_.scan_len;
+  gen_cfg.insert_new_keys = true;  // data grows across phases
+  workload::OperationGenerator gen(spec, keys, gen_cfg, seed);
+  sim::Device* device = tree->device();
+  std::vector<lsm::Entry> scan_buf;
+
+  for (size_t i = 0; i < num_ops; ++i) {
+    const workload::Operation op = gen.Next();
+    const sim::DeviceSnapshot before = device->Snapshot();
+    switch (op.type) {
+      case workload::OpType::kZeroResultLookup:
+      case workload::OpType::kNonZeroResultLookup: {
+        uint64_t value = 0;
+        if (tree->Get(op.key, &value)) {
+          ++result.lookups_found;
+        } else {
+          ++result.lookups_missed;
+        }
+        break;
+      }
+      case workload::OpType::kRangeLookup:
+        scan_buf.clear();
+        tree->Scan(op.key, op.scan_len, &scan_buf);
+        break;
+      case workload::OpType::kWrite:
+        tree->Put(op.key, op.value);
+        break;
+      case workload::OpType::kDelete:
+        tree->Delete(op.key);
+        break;
+    }
+    const sim::DeviceSnapshot delta = device->Snapshot().Delta(before);
+    result.latency_ns.Add(delta.elapsed_ns);
+    result.total_ns += delta.elapsed_ns;
+    result.total_ios += delta.TotalIos();
+
+    if (detector_.Record(op.type)) {
+      // A shift (or the initial window) was detected: re-tune for the
+      // estimated mix at the *current* data scale.
+      model::WorkloadSpec estimated = detector_.LastWindowSpec();
+      estimated.skew = spec.skew;
+      const double scale = static_cast<double>(tree->TotalEntries()) /
+                           static_cast<double>(base_setup_.num_entries);
+      const model::SystemParams target =
+          ScaleParams(base_setup_.ToModelParams(), std::max(0.1, scale));
+      last_applied_ = recommend_(estimated, target);
+      tree->Reconfigure(last_applied_.ToOptions(base_setup_));
+    }
+  }
+  result.num_ops = num_ops;
+  return result;
+}
+
+}  // namespace camal::tune

@@ -1,0 +1,57 @@
+#ifndef CAMAL_CAMAL_DYNAMIC_TUNER_H_
+#define CAMAL_CAMAL_DYNAMIC_TUNER_H_
+
+#include <functional>
+
+#include "camal/sample.h"
+#include "lsm/lsm_tree.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+#include "workload/shift_detector.h"
+
+namespace camal::tune {
+
+/// Produces a configuration for an (estimated) workload at a target system
+/// scale. Model-backed tuners bind `ModelBackedTuner::RecommendFor`.
+using RecommendFn = std::function<TuningConfig(const model::WorkloadSpec&,
+                                               const model::SystemParams&)>;
+
+/// Dynamic system mode (Section 6): drives a live LSM-tree through a
+/// changing operation stream, detecting workload shifts with a (p, tau)
+/// threshold detector and lazily reconfiguring the tree. Because the
+/// stream keeps inserting new entries, the data grows; the target scale
+/// passed to the recommender grows accordingly (extrapolation strategy).
+class DynamicTuner {
+ public:
+  struct Params {
+    /// Detector window p, in operations.
+    size_t window_ops = 1000;
+    /// Detector threshold tau on any operation fraction.
+    double tau = 0.10;
+  };
+
+  DynamicTuner(RecommendFn recommend, const SystemSetup& base_setup,
+               const Params& params);
+
+  /// Runs `num_ops` operations of `spec` against `tree`, reconfiguring
+  /// whenever the detector fires. Writes insert new keys so the data set
+  /// grows across phases.
+  workload::ExecutionResult RunPhase(lsm::LsmTree* tree,
+                                     workload::KeySpace* keys,
+                                     const model::WorkloadSpec& spec,
+                                     size_t num_ops, uint64_t seed);
+
+  size_t reconfigurations() const { return detector_.reconfigurations(); }
+  const TuningConfig& last_applied() const { return last_applied_; }
+
+ private:
+  RecommendFn recommend_;
+  SystemSetup base_setup_;
+  Params params_;
+  workload::ShiftDetector detector_;
+  TuningConfig last_applied_;
+};
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_DYNAMIC_TUNER_H_

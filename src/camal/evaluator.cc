@@ -1,0 +1,85 @@
+#include "camal/evaluator.h"
+
+#include "lsm/lsm_tree.h"
+#include "workload/executor.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace camal::tune {
+
+namespace {
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+}  // namespace
+
+Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
+                               const TuningConfig& config, size_t num_ops,
+                               uint64_t salt) const {
+  sim::DeviceConfig device_config = setup_.device;
+  device_config.jitter_seed = HashCombine(setup_.seed, salt);
+  sim::Device device(device_config);
+
+  // The dataset itself is fixed per setup (same keys for every sample).
+  workload::KeySpace keys(setup_.num_entries, setup_.seed);
+  lsm::LsmTree tree(config.ToOptions(setup_), &device);
+  workload::BulkLoad(&tree, keys);
+  // Phase-randomizing warmup: a salt-dependent burst of updates so each
+  // measurement samples a different compaction-fullness phase. Without it,
+  // every run would observe the single deterministic post-load phase, and
+  // that phase (not the steady state) would dominate the learned landscape.
+  {
+    util::Random warm_rng(HashCombine(setup_.seed * 17, salt + 3));
+    const auto extra = static_cast<uint64_t>(
+        0.3 * static_cast<double>(setup_.num_entries) * warm_rng.NextDouble());
+    for (uint64_t i = 0; i < extra; ++i) {
+      tree.Put(keys.KeyAt(warm_rng.Uniform(keys.num_keys())), i);
+    }
+  }
+  const double build_ns = device.elapsed_ns();
+
+  workload::ExecutorConfig exec;
+  exec.num_ops = num_ops;
+  exec.generator.scan_len = setup_.scan_len;
+  exec.generator.insert_new_keys = false;
+  exec.seed = HashCombine(setup_.seed * 31, salt + 1);
+  workload::ExecutionResult result =
+      workload::Execute(&tree, workload, exec, &keys);
+
+  Measurement m;
+  m.mean_latency_ns = result.MeanLatencyNs();
+  m.p90_latency_ns = result.latency_ns.Quantile(0.9);
+  m.ios_per_op = result.IosPerOp();
+  m.build_ns = build_ns;
+  m.run_ns = result.total_ns;
+  m.total_cost_ns = build_ns + result.total_ns;
+  return m;
+}
+
+Sample Evaluator::MakeSample(const model::WorkloadSpec& workload,
+                             const TuningConfig& config, uint64_t salt) const {
+  // Average two compaction-fullness phases per sample so the label
+  // estimates the steady state (the paper's single long run does the same
+  // by sheer query count). Both runs are paid for in the sample cost.
+  const Measurement a = Measure(workload, config, setup_.train_ops, salt);
+  const Measurement b =
+      Measure(workload, config, setup_.train_ops, HashCombine(salt, 0xb0b));
+  Sample sample;
+  sample.workload = workload;
+  sample.config = config;
+  sample.sys = setup_.ToModelParams();
+  sample.mean_latency_ns = (a.mean_latency_ns + b.mean_latency_ns) / 2.0;
+  sample.p90_latency_ns = (a.p90_latency_ns + b.p90_latency_ns) / 2.0;
+  sample.ios_per_op = (a.ios_per_op + b.ios_per_op) / 2.0;
+  sample.cost_ns = a.total_cost_ns + b.total_cost_ns;
+  return sample;
+}
+
+Measurement Evaluator::Evaluate(const model::WorkloadSpec& workload,
+                                const TuningConfig& config,
+                                uint64_t salt) const {
+  return Measure(workload, config, setup_.eval_ops, HashCombine(salt, 777));
+}
+
+}  // namespace camal::tune

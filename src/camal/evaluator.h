@@ -1,0 +1,55 @@
+#ifndef CAMAL_CAMAL_EVALUATOR_H_
+#define CAMAL_CAMAL_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "camal/sample.h"
+#include "model/workload_spec.h"
+
+namespace camal::tune {
+
+/// What one measurement run produced.
+struct Measurement {
+  double mean_latency_ns = 0.0;
+  double p90_latency_ns = 0.0;
+  double ios_per_op = 0.0;
+  /// Simulated time of the initial data ingestion.
+  double build_ns = 0.0;
+  /// Simulated time of the query phase.
+  double run_ns = 0.0;
+  /// build_ns + run_ns — the cost of obtaining this measurement.
+  double total_cost_ns = 0.0;
+};
+
+/// Runs (workload, config) pairs on fresh LSM-tree instances and measures
+/// simulated latency/IO — the "execute database instance" step of
+/// Algorithm 2.
+class Evaluator {
+ public:
+  explicit Evaluator(const SystemSetup& setup) : setup_(setup) {}
+
+  /// Builds a fresh tree with `config`, ingests N entries, runs `num_ops`
+  /// operations of `workload`, and reports the measurements. `salt`
+  /// diversifies the noise/query seed between repeated measurements.
+  Measurement Measure(const model::WorkloadSpec& workload,
+                      const TuningConfig& config, size_t num_ops,
+                      uint64_t salt) const;
+
+  /// Measures with `setup().train_ops` operations and wraps the result as a
+  /// training sample.
+  Sample MakeSample(const model::WorkloadSpec& workload,
+                    const TuningConfig& config, uint64_t salt) const;
+
+  /// Measures with `setup().eval_ops` operations (final evaluation).
+  Measurement Evaluate(const model::WorkloadSpec& workload,
+                       const TuningConfig& config, uint64_t salt = 0) const;
+
+  const SystemSetup& setup() const { return setup_; }
+
+ private:
+  SystemSetup setup_;
+};
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_EVALUATOR_H_

@@ -1,0 +1,25 @@
+#include "camal/extrapolation.h"
+
+#include "util/status.h"
+
+namespace camal::tune {
+
+TuningConfig ExtrapolateConfig(const TuningConfig& config, double k) {
+  CAMAL_CHECK(k > 0.0);
+  TuningConfig out = config;
+  out.mf_bits *= k;
+  out.mb_bits *= k;
+  out.mc_bits *= k;
+  // size_ratio, policy, runs_per_level and file size carry over unchanged.
+  return out;
+}
+
+model::SystemParams ScaleParams(const model::SystemParams& params, double k) {
+  CAMAL_CHECK(k > 0.0);
+  model::SystemParams out = params;
+  out.num_entries *= k;
+  out.total_memory_bits *= k;
+  return out;
+}
+
+}  // namespace camal::tune

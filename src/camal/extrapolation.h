@@ -1,0 +1,19 @@
+#ifndef CAMAL_CAMAL_EXTRAPOLATION_H_
+#define CAMAL_CAMAL_EXTRAPOLATION_H_
+
+#include "camal/sample.h"
+
+namespace camal::tune {
+
+/// Lemma 5.1: when the data grows from N' to kN' and the memory budget
+/// from M' to kM', the tuned configuration transfers as T'' = T',
+/// Mf'' = kMf', Mb'' = kMb' (and Mc'' = kMc'). This rescales a config
+/// accordingly — no retraining required.
+TuningConfig ExtrapolateConfig(const TuningConfig& config, double k);
+
+/// Rescales a model-view of the system by k (N and M grow together).
+model::SystemParams ScaleParams(const model::SystemParams& params, double k);
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_EXTRAPOLATION_H_

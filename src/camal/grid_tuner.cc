@@ -1,0 +1,66 @@
+#include "camal/grid_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/optimum.h"
+
+namespace camal::tune {
+
+GridTuner::GridTuner(const SystemSetup& full_setup,
+                     const TunerOptions& options)
+    : ModelBackedTuner(full_setup, options) {}
+
+std::vector<TuningConfig> GridTuner::UniformGrid(
+    const model::SystemParams& sys, int budget) const {
+  const model::CostModel cm(sys);
+  const double t_lim = std::floor(cm.SizeRatioLimit());
+  const double m = sys.total_memory_bits;
+  const double min_buf = model::MinBufferBits(sys);
+  const double max_bpk =
+      std::clamp((m - min_buf) / sys.num_entries, 0.0, 16.0);
+
+  // Split the budget over two (or three) dimensions as evenly as possible.
+  const int dims = options_.tune_mc ? 3 : 2;
+  const int per_dim = std::max(
+      2, static_cast<int>(std::floor(std::pow(budget, 1.0 / dims))));
+  const int t_points = per_dim;
+  const int bpk_points = per_dim;
+  const int mc_points = options_.tune_mc ? per_dim : 1;
+
+  std::vector<TuningConfig> grid;
+  for (int ti = 0; ti < t_points; ++ti) {
+    const double t = std::round(
+        2.0 + (t_lim - 2.0) * ti / std::max(1, t_points - 1));
+    for (int bi = 0; bi < bpk_points; ++bi) {
+      const double bpk = max_bpk * bi / std::max(1, bpk_points - 1);
+      for (int mi = 0; mi < mc_points; ++mi) {
+        const double mc_frac =
+            options_.tune_mc ? 0.4 * mi / std::max(1, mc_points - 1) : 0.0;
+        TuningConfig c;
+        c.policy = options_.policy;
+        c.size_ratio = t;
+        c.mc_bits = mc_frac * m;
+        c.mf_bits = std::clamp(bpk * sys.num_entries, 0.0,
+                               m - c.mc_bits - min_buf);
+        c.mb_bits = m - c.mf_bits - c.mc_bits;
+        grid.push_back(c);
+        if (static_cast<int>(grid.size()) >= budget) return grid;
+      }
+    }
+  }
+  return grid;
+}
+
+void GridTuner::Train(const std::vector<model::WorkloadSpec>& workloads) {
+  const model::SystemParams sys = train_setup_.ToModelParams();
+  const std::vector<TuningConfig> grid =
+      UniformGrid(sys, options_.budget_per_workload);
+  for (const model::WorkloadSpec& w : workloads) {
+    for (const TuningConfig& c : grid) CollectSample(w, c);
+    RefitModel();
+    Checkpoint();
+  }
+}
+
+}  // namespace camal::tune

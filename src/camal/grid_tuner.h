@@ -1,0 +1,27 @@
+#ifndef CAMAL_CAMAL_GRID_TUNER_H_
+#define CAMAL_CAMAL_GRID_TUNER_H_
+
+#include <vector>
+
+#include "camal/tuner.h"
+
+namespace camal::tune {
+
+/// Plain-ML baseline: the sampling budget is spread over a uniform grid of
+/// the configuration space (no feedback between samples); a model is fit on
+/// all samples afterwards and recommendations take its argmin.
+class GridTuner : public ModelBackedTuner {
+ public:
+  GridTuner(const SystemSetup& full_setup, const TunerOptions& options);
+
+  void Train(const std::vector<model::WorkloadSpec>& workloads) override;
+
+ private:
+  /// Evenly spaced grid with ~budget points over (T, bpk[, mc]).
+  std::vector<TuningConfig> UniformGrid(const model::SystemParams& sys,
+                                        int budget) const;
+};
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_GRID_TUNER_H_

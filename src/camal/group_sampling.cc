@@ -1,0 +1,59 @@
+#include "camal/group_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace camal::tune {
+
+int TheoreticalOptimalK(const model::WorkloadSpec& w_in,
+                        const model::CostModel& model, double size_ratio) {
+  const model::WorkloadSpec w = w_in.Normalized();
+  const int k_max =
+      std::max(1, std::min(8, static_cast<int>(std::floor(size_ratio))));
+  int best_k = 1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= k_max; ++k) {
+    model::ModelConfig c;
+    c.policy = lsm::CompactionPolicy::kLeveling;
+    c.size_ratio = size_ratio;
+    c.runs_per_level = k;
+    c.mf_bits = 10.0 * model.params().num_entries;
+    c.mb_bits =
+        std::max(model.params().entry_bits,
+                 model.params().total_memory_bits - c.mf_bits);
+    const double cost = model.OpCost(w, c);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+std::vector<std::pair<double, int>> JointTkNeighborhood(double t_star,
+                                                        int k_star, int count,
+                                                        double t_lim) {
+  std::vector<std::pair<double, int>> out;
+  auto push = [&](double t, int k) {
+    t = std::clamp(std::round(t), 2.0, std::floor(t_lim));
+    k = std::clamp(k, 1, std::min(8, static_cast<int>(t)));
+    for (const auto& p : out) {
+      if (p.first == t && p.second == k) return;
+    }
+    out.emplace_back(t, k);
+  };
+  // Center first, then alternating steps along each axis and diagonals.
+  push(t_star, k_star);
+  const int deltas[][2] = {{2, 0},  {0, 1},  {-2, 0}, {0, -1}, {2, 1},
+                           {-2, -1}, {4, 0},  {0, 2},  {-4, 0}, {0, -2},
+                           {2, -1}, {-2, 1}};
+  for (const auto& d : deltas) {
+    if (static_cast<int>(out.size()) >= count) break;
+    push(t_star + d[0], k_star + d[1]);
+  }
+  if (static_cast<int>(out.size()) > count) out.resize(count);
+  return out;
+}
+
+}  // namespace camal::tune

@@ -1,0 +1,26 @@
+#ifndef CAMAL_CAMAL_GROUP_SAMPLING_H_
+#define CAMAL_CAMAL_GROUP_SAMPLING_H_
+
+#include <utility>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/workload_spec.h"
+
+namespace camal::tune {
+
+/// Theoretical optimal runs-per-level K at a fixed size ratio, from the
+/// generalized hybrid cost model (argmin over K in [1, min(T, 8)]).
+int TheoreticalOptimalK(const model::WorkloadSpec& w,
+                        const model::CostModel& model, double size_ratio);
+
+/// 2-D sampling neighborhood around (T*, K*) for co-dependent group-wise
+/// sampling (Section 8.4): the center plus alternating +-steps in each
+/// dimension, `count` points total, clamped to valid ranges.
+std::vector<std::pair<double, int>> JointTkNeighborhood(double t_star,
+                                                        int k_star, int count,
+                                                        double t_lim);
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_GROUP_SAMPLING_H_

@@ -1,0 +1,118 @@
+#ifndef CAMAL_CAMAL_SAMPLE_H_
+#define CAMAL_CAMAL_SAMPLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/options.h"
+#include "ml/regressor.h"
+#include "model/cost_model.h"
+#include "model/workload_spec.h"
+#include "sim/device.h"
+
+namespace camal::tune {
+
+/// The experimental scale: data size, memory budget, device, and query
+/// volumes. One SystemSetup corresponds to one "database server" in the
+/// paper's evaluation.
+struct SystemSetup {
+  /// Number of initially ingested entries (N).
+  uint64_t num_entries = 40000;
+  /// Entry size in bytes (E).
+  uint64_t entry_bytes = 128;
+  /// Total memory budget in bits (M = Mb + Mf + Mc); default ~16 bits/key.
+  uint64_t total_memory_bits = 640000;
+  /// Range-lookup selectivity in entries (s).
+  size_t scan_len = 16;
+  /// Simulated device / CPU cost constants.
+  sim::DeviceConfig device;
+  /// Operations per *training* sample (kept small: sampling is the cost
+  /// CAMAL fights; ingest dominates it, so queries are comparatively
+  /// cheap).
+  size_t train_ops = 4000;
+  /// Operations per final *evaluation* run.
+  size_t eval_ops = 8000;
+  /// Master seed.
+  uint64_t seed = 42;
+
+  /// The closed-form model's view of this setup.
+  model::SystemParams ToModelParams() const;
+};
+
+/// Returns a copy of `setup` scaled down by factor `k` (N/k entries, M/k
+/// memory) — the training-side counterpart of the extrapolation strategy.
+SystemSetup ScaledDown(const SystemSetup& setup, double k);
+
+/// One point X in the tuning space. All memory fields are absolute bits for
+/// a specific system scale; `ExtrapolateConfig` rescales them.
+struct TuningConfig {
+  lsm::CompactionPolicy policy = lsm::CompactionPolicy::kLeveling;
+  double size_ratio = 10.0;
+  double mf_bits = 0.0;
+  double mb_bits = 0.0;
+  double mc_bits = 0.0;
+  /// Runs-per-level extension knob K (0 = policy default).
+  int runs_per_level = 0;
+  /// SST file size extension knob (0 = one file per run).
+  uint64_t file_bytes = 0;
+
+  /// Materializes engine options for the given setup.
+  lsm::Options ToOptions(const SystemSetup& setup) const;
+
+  /// The closed-form model's view of this config.
+  model::ModelConfig ToModelConfig() const;
+
+  std::string ToString() const;
+};
+
+/// The paper's "well-tuned RocksDB" baseline configuration: leveling,
+/// T = 10, 10 bits/key of Bloom memory, the rest to the write buffer.
+TuningConfig MonkeyDefaultConfig(const SystemSetup& setup);
+
+/// One training observation (W, X, Y) plus the system scale it was measured
+/// at and its sampling cost.
+struct Sample {
+  model::WorkloadSpec workload;
+  TuningConfig config;
+  model::SystemParams sys;
+  double mean_latency_ns = 0.0;
+  double p90_latency_ns = 0.0;
+  double ios_per_op = 0.0;
+  /// Simulated time spent producing this sample (ingest + queries) — the
+  /// "sampling hours" currency of Figure 5a.
+  double cost_ns = 0.0;
+};
+
+/// What the tuners optimize (Section 8.4 explores the alternatives).
+enum class Objective { kMeanLatency, kP90Latency, kIosPerOp };
+
+/// Extracts the objective value from a sample.
+double ObjectiveValue(const Sample& sample, Objective objective);
+
+/// The ML model families of Section 7.
+enum class ModelKind { kPoly, kTrees, kNn };
+
+const char* ModelKindName(ModelKind kind);
+
+/// Scale-invariant feature vector for (workload, config, system) — bits
+/// per key, memory fractions, and derived cost-model quantities (levels,
+/// FPR) rather than absolute sizes, so models trained at N' transfer to
+/// kN' (Lemma 5.1).
+std::vector<double> RawFeatures(const model::WorkloadSpec& w,
+                                const TuningConfig& x,
+                                const model::SystemParams& sys);
+
+/// Cost-model basis expansion for polynomial regression (Equation 11):
+/// each theoretical cost term of Figure 2 becomes one basis function, plus
+/// per-operation constants for CPU time.
+std::vector<double> CostBasisFromRaw(const std::vector<double>& raw);
+
+/// Builds a fresh regressor of the requested family (Poly models get the
+/// cost-model basis expansion).
+std::unique_ptr<ml::Regressor> MakeModel(ModelKind kind, uint64_t seed);
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_SAMPLE_H_

@@ -1,0 +1,47 @@
+#include "camal/uncertainty.h"
+
+#include <limits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace camal::tune {
+
+TuningConfig RecommendUnderUncertainty(const ModelBackedTuner& tuner,
+                                       const model::WorkloadSpec& expected,
+                                       double rho, int num_workloads,
+                                       util::Random* rng) {
+  CAMAL_CHECK(num_workloads > 0);
+  if (rho <= 0.0) return tuner.Recommend(expected);
+
+  std::vector<model::WorkloadSpec> scenarios;
+  scenarios.reserve(static_cast<size_t>(num_workloads));
+  for (int i = 0; i < num_workloads; ++i) {
+    scenarios.push_back(model::SampleInKlBall(expected, rho, rng));
+  }
+
+  const model::SystemParams target = tuner.full_setup().ToModelParams();
+  // Candidates: the per-scenario optima (cheap and well-spread).
+  std::vector<TuningConfig> candidates;
+  candidates.push_back(tuner.Recommend(expected));
+  for (const model::WorkloadSpec& s : scenarios) {
+    candidates.push_back(tuner.RecommendFor(s, target));
+  }
+
+  TuningConfig best = candidates.front();
+  double best_avg = std::numeric_limits<double>::infinity();
+  for (const TuningConfig& c : candidates) {
+    double total = 0.0;
+    for (const model::WorkloadSpec& s : scenarios) {
+      total += tuner.PredictObjective(s, c, target);
+    }
+    const double avg = total / static_cast<double>(scenarios.size());
+    if (avg < best_avg) {
+      best_avg = avg;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace camal::tune

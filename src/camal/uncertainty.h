@@ -1,0 +1,20 @@
+#ifndef CAMAL_CAMAL_UNCERTAINTY_H_
+#define CAMAL_CAMAL_UNCERTAINTY_H_
+
+#include "camal/tuner.h"
+
+namespace camal::tune {
+
+/// Workload-uncertainty-aware recommendation (Section 8.1 "Implementation
+/// optimizations", third application): samples `num_workloads` mixes within
+/// a KL ball of radius `rho` around the expected workload and returns the
+/// configuration minimizing the *average* predicted objective across them —
+/// CAMAL's statistically-based answer to Endure's robust tuning.
+TuningConfig RecommendUnderUncertainty(const ModelBackedTuner& tuner,
+                                       const model::WorkloadSpec& expected,
+                                       double rho, int num_workloads,
+                                       util::Random* rng);
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_UNCERTAINTY_H_

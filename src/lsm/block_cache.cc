@@ -1,0 +1,51 @@
+#include "lsm/block_cache.h"
+
+namespace camal::lsm {
+
+BlockCache::BlockCache(uint64_t capacity_blocks) : capacity_(capacity_blocks) {}
+
+bool BlockCache::Lookup(uint64_t key) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return true;
+}
+
+void BlockCache::Insert(uint64_t key) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(key);
+  map_[key] = lru_.begin();
+  EvictToCapacity();
+}
+
+void BlockCache::Resize(uint64_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  EvictToCapacity();
+}
+
+void BlockCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+void BlockCache::EvictToCapacity() {
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace camal::lsm

@@ -1,0 +1,62 @@
+#include "lsm/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camal::lsm {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+constexpr double kMinUsefulBpk = 0.5;
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+BloomFilter::BloomFilter(size_t num_entries, double bits_per_key) {
+  if (num_entries == 0 || bits_per_key < kMinUsefulBpk) return;
+  bits_per_key_ = bits_per_key;
+  num_bits_ = std::max<size_t>(
+      64, static_cast<size_t>(std::llround(
+              static_cast<double>(num_entries) * bits_per_key)));
+  words_.assign((num_bits_ + 63) / 64, 0);
+  num_hashes_ =
+      std::max(1, static_cast<int>(std::llround(bits_per_key * kLn2)));
+  num_hashes_ = std::min(num_hashes_, 30);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  if (absent()) return;
+  uint64_t h1 = Mix64(key);
+  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const size_t bit = h1 % num_bits_;
+    words_[bit >> 6] |= (1ULL << (bit & 63));
+    h1 += h2;
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  if (absent()) return true;
+  uint64_t h1 = Mix64(key);
+  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const size_t bit = h1 % num_bits_;
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+    h1 += h2;
+  }
+  return true;
+}
+
+double BloomFilter::TheoreticalFpr() const {
+  if (absent()) return 1.0;
+  return std::min(1.0, std::exp(-bits_per_key_ * kLn2 * kLn2));
+}
+
+}  // namespace camal::lsm

@@ -1,0 +1,44 @@
+#include "lsm/compaction.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace camal::lsm {
+
+std::vector<Entry> MergeRuns(const std::vector<RunPtr>& newest_first,
+                             bool drop_tombstones) {
+  std::vector<size_t> cursor(newest_first.size(), 0);
+  std::vector<Entry> out;
+  uint64_t total = 0;
+  for (const RunPtr& run : newest_first) total += run->size();
+  out.reserve(total);
+
+  for (;;) {
+    uint64_t min_key = std::numeric_limits<uint64_t>::max();
+    bool any = false;
+    for (size_t s = 0; s < newest_first.size(); ++s) {
+      if (cursor[s] >= newest_first[s]->size()) continue;
+      const uint64_t k = newest_first[s]->entry(cursor[s]).key;
+      if (!any || k < min_key) {
+        min_key = k;
+        any = true;
+      }
+    }
+    if (!any) break;
+
+    bool taken = false;
+    for (size_t s = 0; s < newest_first.size(); ++s) {
+      if (cursor[s] >= newest_first[s]->size()) continue;
+      const Entry& e = newest_first[s]->entry(cursor[s]);
+      if (e.key != min_key) continue;
+      if (!taken) {
+        taken = true;
+        if (!(drop_tombstones && e.tombstone)) out.push_back(e);
+      }
+      ++cursor[s];
+    }
+  }
+  return out;
+}
+
+}  // namespace camal::lsm

@@ -1,0 +1,22 @@
+#ifndef CAMAL_LSM_COMPACTION_H_
+#define CAMAL_LSM_COMPACTION_H_
+
+#include <vector>
+
+#include "lsm/entry.h"
+#include "lsm/run.h"
+
+namespace camal::lsm {
+
+/// Merges sorted runs into one sorted, deduplicated entry stream.
+///
+/// `newest_first` orders the inputs by recency: when the same key appears in
+/// several runs, the version from the earliest run in the vector wins.
+/// Tombstones are carried through unless `drop_tombstones` is set (legal
+/// only when merging into the bottommost populated level).
+std::vector<Entry> MergeRuns(const std::vector<RunPtr>& newest_first,
+                             bool drop_tombstones);
+
+}  // namespace camal::lsm
+
+#endif  // CAMAL_LSM_COMPACTION_H_

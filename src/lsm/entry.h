@@ -1,0 +1,24 @@
+#ifndef CAMAL_LSM_ENTRY_H_
+#define CAMAL_LSM_ENTRY_H_
+
+#include <cstdint>
+
+namespace camal::lsm {
+
+/// One key-value record. The logical on-disk footprint of an entry is
+/// `Options::entry_bytes`; the in-memory representation stores only the key,
+/// a value word (enough to verify correctness in tests), and a tombstone
+/// flag for deletes.
+struct Entry {
+  uint64_t key = 0;
+  uint64_t value = 0;
+  bool tombstone = false;
+};
+
+inline bool operator==(const Entry& a, const Entry& b) {
+  return a.key == b.key && a.value == b.value && a.tombstone == b.tombstone;
+}
+
+}  // namespace camal::lsm
+
+#endif  // CAMAL_LSM_ENTRY_H_

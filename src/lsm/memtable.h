@@ -1,0 +1,44 @@
+#ifndef CAMAL_LSM_MEMTABLE_H_
+#define CAMAL_LSM_MEMTABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "lsm/entry.h"
+#include "sim/device.h"
+
+namespace camal::lsm {
+
+/// In-memory write buffer (paper Level 0). Keeps the freshest version of
+/// each key; flushing drains it into a sorted run.
+class Memtable {
+ public:
+  /// Inserts or overwrites `key`. Charges buffer-insert CPU.
+  void Put(uint64_t key, uint64_t value, bool tombstone, sim::Device* device);
+
+  /// Looks up `key`; returns true when present (including tombstones, which
+  /// are reported through `out->tombstone`). Charges comparison CPU.
+  bool Get(uint64_t key, Entry* out, sim::Device* device) const;
+
+  /// Number of distinct buffered keys.
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+
+  /// Removes and returns all entries in key order.
+  std::vector<Entry> DrainSorted();
+
+  /// Appends buffered entries with key in [start_key, +inf), in key order,
+  /// up to `max_entries`, into `out` (used by range scans; the caller merges
+  /// with on-disk runs).
+  void CollectFrom(uint64_t start_key, size_t max_entries,
+                   std::vector<Entry>* out) const;
+
+ private:
+  std::map<uint64_t, Entry> table_;
+};
+
+}  // namespace camal::lsm
+
+#endif  // CAMAL_LSM_MEMTABLE_H_

@@ -1,0 +1,30 @@
+#ifndef CAMAL_LSM_MONKEY_H_
+#define CAMAL_LSM_MONKEY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace camal::lsm {
+
+/// Monkey-style optimal Bloom memory allocation (Dayan et al., SIGMOD'17).
+///
+/// Distributes `total_bits` of Bloom filter memory across levels holding
+/// `level_entries[i]` entries each so that the summed false-positive rate
+/// is minimized. The optimum sets each level's FPR proportional to its
+/// entry count (larger, deeper levels get higher FPR / fewer bits per key),
+/// clamping to FPR = 1 (no filter) when the budget runs out.
+///
+/// Returns the bits-per-key for each level (0 for unfiltered levels).
+/// Levels with zero entries receive 0 and do not consume memory.
+std::vector<double> MonkeyAllocate(double total_bits,
+                                   const std::vector<uint64_t>& level_entries);
+
+/// Sum over levels of the expected false-positive rate implied by a Monkey
+/// allocation — the expected wasted I/Os of a zero-result point lookup with
+/// one run per level.
+double MonkeyZeroResultIoCost(double total_bits,
+                              const std::vector<uint64_t>& level_entries);
+
+}  // namespace camal::lsm
+
+#endif  // CAMAL_LSM_MONKEY_H_

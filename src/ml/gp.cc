@@ -1,0 +1,95 @@
+#include "ml/gp.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace camal::ml {
+
+GaussianProcess::GaussianProcess(const GpParams& params) : params_(params) {}
+
+double GaussianProcess::Kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return params_.signal_var *
+         std::exp(-0.5 * d2 / (params_.length_scale * params_.length_scale));
+}
+
+void GaussianProcess::Fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  CAMAL_CHECK(!x.empty());
+  CAMAL_CHECK(x.size() == y.size());
+  input_scaler_.Fit(x);
+  target_scaler_.Fit(y);
+  x_train_ = input_scaler_.ApplyAll(x);
+  std::vector<double> ys(y.size());
+  for (size_t i = 0; i < y.size(); ++i) ys[i] = target_scaler_.Scale(y[i]);
+  // Recover sd for unscaling the variance.
+  target_sd_ = 1.0;
+  {
+    const double a = target_scaler_.Unscale(1.0);
+    const double b = target_scaler_.Unscale(0.0);
+    target_sd_ = a - b;
+  }
+
+  const size_t n = x_train_.size();
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      const double v = Kernel(x_train_[i], x_train_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += params_.noise_var;
+  }
+  chol_ = k;
+  double jitter = 1e-8;
+  while (!CholeskyFactor(&chol_)) {
+    chol_ = k;
+    for (size_t i = 0; i < n; ++i) chol_(i, i) += jitter;
+    jitter *= 10.0;
+    CAMAL_CHECK(jitter < 1.0);
+  }
+  alpha_ = CholeskySolve(chol_, ys);
+  fitted_ = true;
+}
+
+std::pair<double, double> GaussianProcess::PredictMeanVar(
+    const std::vector<double>& x) const {
+  CAMAL_CHECK(fitted_);
+  const std::vector<double> xs = input_scaler_.Apply(x);
+  const size_t n = x_train_.size();
+  std::vector<double> kstar(n);
+  for (size_t i = 0; i < n; ++i) kstar[i] = Kernel(xs, x_train_[i]);
+
+  double mean_z = 0.0;
+  for (size_t i = 0; i < n; ++i) mean_z += kstar[i] * alpha_[i];
+
+  // v = L^{-1} k*; var = k(x,x) - v.v
+  std::vector<double> v = kstar;
+  for (size_t i = 0; i < n; ++i) {
+    double s = v[i];
+    for (size_t k = 0; k < i; ++k) s -= chol_(i, k) * v[k];
+    v[i] = s / chol_(i, i);
+  }
+  double var_z = Kernel(xs, xs);
+  for (size_t i = 0; i < n; ++i) var_z -= v[i] * v[i];
+  var_z = std::max(1e-12, var_z);
+
+  return {target_scaler_.Unscale(mean_z), var_z * target_sd_ * target_sd_};
+}
+
+double ExpectedImprovement(double mean, double var, double best) {
+  const double sd = std::sqrt(std::max(1e-18, var));
+  const double z = (best - mean) / sd;
+  // Standard normal pdf / cdf.
+  const double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+  const double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+  return (best - mean) * cdf + sd * pdf;
+}
+
+}  // namespace camal::ml

@@ -1,0 +1,58 @@
+#ifndef CAMAL_ML_GP_H_
+#define CAMAL_ML_GP_H_
+
+#include <utility>
+#include <vector>
+
+#include "ml/linalg.h"
+#include "ml/standardizer.h"
+
+namespace camal::ml {
+
+/// Hyperparameters of the Gaussian-process surrogate.
+struct GpParams {
+  /// RBF kernel length scale (on standardized features).
+  double length_scale = 1.0;
+  /// Signal variance.
+  double signal_var = 1.0;
+  /// Observation noise variance (on standardized targets).
+  double noise_var = 1e-3;
+};
+
+/// Gaussian-process regression with an RBF kernel — the surrogate behind
+/// the Bayesian-optimization baseline (Section 8 "Bayes"). Inputs and
+/// targets are standardized internally.
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(const GpParams& params = GpParams());
+
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  /// Posterior mean and variance at `x` (in original target units;
+  /// variance scaled accordingly).
+  std::pair<double, double> PredictMeanVar(const std::vector<double>& x) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  double Kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+  GpParams params_;
+  std::vector<std::vector<double>> x_train_;  // standardized
+  std::vector<double> alpha_;
+  Matrix chol_;
+  Standardizer input_scaler_;
+  TargetScaler target_scaler_;
+  double target_sd_ = 1.0;
+  bool fitted_ = false;
+};
+
+/// Expected improvement of a *minimization* objective at a point with GP
+/// posterior (mean, var), relative to the best observed value `best`.
+double ExpectedImprovement(double mean, double var, double best);
+
+}  // namespace camal::ml
+
+#endif  // CAMAL_ML_GP_H_

@@ -1,0 +1,103 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace camal::ml {
+
+bool CholeskyFactor(Matrix* a) {
+  CAMAL_CHECK(a->rows() == a->cols());
+  const size_t n = a->rows();
+  Matrix& m = *a;
+  for (size_t j = 0; j < n; ++j) {
+    double d = m(j, j);
+    for (size_t k = 0; k < j; ++k) d -= m(j, k) * m(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    m(j, j) = std::sqrt(d);
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = m(i, j);
+      for (size_t k = 0; k < j; ++k) s -= m(i, k) * m(j, k);
+      m(i, j) = s / m(j, j);
+    }
+  }
+  return true;
+}
+
+std::vector<double> CholeskySolve(const Matrix& l, std::vector<double> b) {
+  const size_t n = l.rows();
+  CAMAL_CHECK(b.size() == n);
+  // Forward substitution L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * b[k];
+    b[i] = s / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * b[k];
+    b[ii] = s / l(ii, ii);
+  }
+  return b;
+}
+
+std::vector<double> SolveLinear(Matrix a, std::vector<double> b) {
+  CAMAL_CHECK(a.rows() == a.cols());
+  CAMAL_CHECK(b.size() == a.rows());
+  const size_t n = a.rows();
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > best) {
+        best = std::fabs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return {};
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (size_t c = ii + 1; c < n; ++c) s -= a(ii, c) * x[c];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> RidgeSolve(const Matrix& x, const std::vector<double>& y,
+                               double l2) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  CAMAL_CHECK(y.size() == n);
+  Matrix gram(d, d, 0.0);
+  std::vector<double> xty(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < d; ++a) {
+      xty[a] += x(i, a) * y[i];
+      for (size_t b = a; b < d; ++b) gram(a, b) += x(i, a) * x(i, b);
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    gram(a, a) += l2;
+    for (size_t b = 0; b < a; ++b) gram(a, b) = gram(b, a);
+  }
+  Matrix chol = gram;
+  if (CholeskyFactor(&chol)) return CholeskySolve(chol, xty);
+  return SolveLinear(gram, xty);
+}
+
+}  // namespace camal::ml

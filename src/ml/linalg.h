@@ -1,0 +1,48 @@
+#ifndef CAMAL_ML_LINALG_H_
+#define CAMAL_ML_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace camal::ml {
+
+/// Minimal dense row-major matrix for the small systems the ML layer solves
+/// (normal equations, GP kernels — tens to a few hundred rows).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// In-place Cholesky factorization A = L L^T of a symmetric positive
+/// definite matrix; returns false if A is not (numerically) SPD.
+/// On success the lower triangle of `a` holds L.
+bool CholeskyFactor(Matrix* a);
+
+/// Solves L L^T x = b given the factor produced by CholeskyFactor.
+std::vector<double> CholeskySolve(const Matrix& l, std::vector<double> b);
+
+/// Solves the (possibly non-SPD) linear system A x = b with partial-pivot
+/// Gaussian elimination. Returns an empty vector if A is singular.
+std::vector<double> SolveLinear(Matrix a, std::vector<double> b);
+
+/// Solves the ridge least-squares problem min ||X beta - y||^2 +
+/// l2 ||beta||^2 via the normal equations (X^T X + l2 I) beta = X^T y.
+std::vector<double> RidgeSolve(const Matrix& x, const std::vector<double>& y,
+                               double l2);
+
+}  // namespace camal::ml
+
+#endif  // CAMAL_ML_LINALG_H_

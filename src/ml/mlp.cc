@@ -1,0 +1,157 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace camal::ml {
+
+Mlp::Mlp(const MlpParams& params) : params_(params) {}
+
+double Mlp::Forward(const std::vector<double>& x,
+                    std::vector<std::vector<double>>* acts) const {
+  std::vector<double> cur = x;
+  if (acts != nullptr) {
+    acts->clear();
+    acts->push_back(cur);
+  }
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    std::vector<double> next(static_cast<size_t>(layer.out), 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double s = layer.b[static_cast<size_t>(o)];
+      const double* wrow = &layer.w[static_cast<size_t>(o * layer.in)];
+      for (int i = 0; i < layer.in; ++i) s += wrow[i] * cur[static_cast<size_t>(i)];
+      const bool last = li + 1 == layers_.size();
+      next[static_cast<size_t>(o)] = last ? s : std::max(0.0, s);
+    }
+    cur = std::move(next);
+    if (acts != nullptr) acts->push_back(cur);
+  }
+  return cur[0];
+}
+
+void Mlp::Fit(const std::vector<std::vector<double>>& x,
+              const std::vector<double>& y) {
+  CAMAL_CHECK(!x.empty());
+  CAMAL_CHECK(x.size() == y.size());
+  input_scaler_.Fit(x);
+  target_scaler_.Fit(y);
+  const std::vector<std::vector<double>> xs = input_scaler_.ApplyAll(x);
+  std::vector<double> ys(y.size());
+  for (size_t i = 0; i < y.size(); ++i) ys[i] = target_scaler_.Scale(y[i]);
+
+  util::Random rng(params_.seed);
+  // Build layers: input -> hidden... -> 1.
+  layers_.clear();
+  int prev = static_cast<int>(x[0].size());
+  std::vector<int> widths = params_.hidden;
+  widths.push_back(1);
+  for (int width : widths) {
+    Layer layer;
+    layer.in = prev;
+    layer.out = width;
+    layer.w.resize(static_cast<size_t>(prev * width));
+    layer.b.assign(static_cast<size_t>(width), 0.0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(prev));
+    for (double& w : layer.w) w = scale * rng.NextGaussian();
+    layer.mw.assign(layer.w.size(), 0.0);
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.mb.assign(layer.b.size(), 0.0);
+    layer.vb.assign(layer.b.size(), 0.0);
+    layers_.push_back(std::move(layer));
+    prev = width;
+  }
+
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  int64_t step = 0;
+  std::vector<size_t> order(x.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    // Fisher-Yates shuffle.
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Uniform(i)]);
+    }
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(params_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(params_.batch_size));
+      // Accumulate gradients over the batch.
+      std::vector<std::vector<double>> gw(layers_.size());
+      std::vector<std::vector<double>> gb(layers_.size());
+      for (size_t li = 0; li < layers_.size(); ++li) {
+        gw[li].assign(layers_[li].w.size(), 0.0);
+        gb[li].assign(layers_[li].b.size(), 0.0);
+      }
+      for (size_t bi = start; bi < end; ++bi) {
+        const size_t row = order[bi];
+        std::vector<std::vector<double>> acts;
+        const double pred = Forward(xs[row], &acts);
+        // dL/dpred for squared loss (factor 2 folded into learning rate).
+        std::vector<double> delta{pred - ys[row]};
+        for (size_t li = layers_.size(); li-- > 0;) {
+          const Layer& layer = layers_[li];
+          const std::vector<double>& input = acts[li];
+          std::vector<double> prev_delta(static_cast<size_t>(layer.in), 0.0);
+          for (int o = 0; o < layer.out; ++o) {
+            const double d = delta[static_cast<size_t>(o)];
+            if (d == 0.0) continue;
+            gb[li][static_cast<size_t>(o)] += d;
+            const size_t base = static_cast<size_t>(o * layer.in);
+            for (int i = 0; i < layer.in; ++i) {
+              gw[li][base + static_cast<size_t>(i)] +=
+                  d * input[static_cast<size_t>(i)];
+              prev_delta[static_cast<size_t>(i)] +=
+                  d * layer.w[base + static_cast<size_t>(i)];
+            }
+          }
+          if (li > 0) {
+            // ReLU derivative of the previous activation.
+            const std::vector<double>& act = acts[li];
+            (void)act;
+            for (int i = 0; i < layer.in; ++i) {
+              if (acts[li][static_cast<size_t>(i)] <= 0.0) {
+                prev_delta[static_cast<size_t>(i)] = 0.0;
+              }
+            }
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+      // Adam update.
+      ++step;
+      const double count = static_cast<double>(end - start);
+      const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(step));
+      const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(step));
+      for (size_t li = 0; li < layers_.size(); ++li) {
+        Layer& layer = layers_[li];
+        for (size_t j = 0; j < layer.w.size(); ++j) {
+          const double g = gw[li][j] / count + params_.l2 * layer.w[j];
+          layer.mw[j] = beta1 * layer.mw[j] + (1 - beta1) * g;
+          layer.vw[j] = beta2 * layer.vw[j] + (1 - beta2) * g * g;
+          layer.w[j] -= params_.learning_rate * (layer.mw[j] / bc1) /
+                        (std::sqrt(layer.vw[j] / bc2) + eps);
+        }
+        for (size_t j = 0; j < layer.b.size(); ++j) {
+          const double g = gb[li][j] / count;
+          layer.mb[j] = beta1 * layer.mb[j] + (1 - beta1) * g;
+          layer.vb[j] = beta2 * layer.vb[j] + (1 - beta2) * g * g;
+          layer.b[j] -= params_.learning_rate * (layer.mb[j] / bc1) /
+                        (std::sqrt(layer.vb[j] / bc2) + eps);
+        }
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double Mlp::Predict(const std::vector<double>& x) const {
+  CAMAL_CHECK(fitted_);
+  const double z = Forward(input_scaler_.Apply(x), nullptr);
+  return target_scaler_.Unscale(z);
+}
+
+}  // namespace camal::ml

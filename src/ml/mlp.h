@@ -1,0 +1,60 @@
+#ifndef CAMAL_ML_MLP_H_
+#define CAMAL_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/regressor.h"
+#include "ml/standardizer.h"
+
+namespace camal::ml {
+
+/// Hyperparameters of the neural-network cost model.
+struct MlpParams {
+  /// Hidden layer widths; with the output layer this gives the paper's
+  /// "four fully connected layers".
+  std::vector<int> hidden = {32, 32, 16};
+  int epochs = 250;
+  int batch_size = 16;
+  double learning_rate = 3e-3;
+  double l2 = 1e-5;
+  uint64_t seed = 11;
+};
+
+/// Small fully connected ReLU network trained with Adam on standardized
+/// inputs/targets — the "NN" model of Section 7. Deliberately data-hungry
+/// relative to Poly/Trees, reproducing the paper's observation that it
+/// needs ~3x the samples for comparable tuning quality.
+class Mlp : public Regressor {
+ public:
+  explicit Mlp(const MlpParams& params = MlpParams());
+
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+  bool fitted() const override { return fitted_; }
+
+ private:
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    std::vector<double> w;  // out x in, row-major
+    std::vector<double> b;  // out
+    // Adam state
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  /// Forward pass; fills per-layer activations (post-ReLU except last).
+  double Forward(const std::vector<double>& x,
+                 std::vector<std::vector<double>>* acts) const;
+
+  MlpParams params_;
+  std::vector<Layer> layers_;
+  Standardizer input_scaler_;
+  TargetScaler target_scaler_;
+  bool fitted_ = false;
+};
+
+}  // namespace camal::ml
+
+#endif  // CAMAL_ML_MLP_H_

@@ -1,0 +1,45 @@
+#include "ml/poly.h"
+
+#include "ml/linalg.h"
+#include "util/status.h"
+
+namespace camal::ml {
+
+PolyRegression::PolyRegression(double l2, BasisFn basis)
+    : l2_(l2), basis_(std::move(basis)) {}
+
+std::vector<double> PolyRegression::Expand(const std::vector<double>& x) const {
+  std::vector<double> phi;
+  if (basis_) {
+    phi = basis_(x);
+  } else {
+    phi = x;
+  }
+  phi.push_back(1.0);  // intercept
+  return phi;
+}
+
+void PolyRegression::Fit(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& y) {
+  CAMAL_CHECK(!x.empty());
+  CAMAL_CHECK(x.size() == y.size());
+  const std::vector<double> first = Expand(x[0]);
+  Matrix design(x.size(), first.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const std::vector<double> phi = Expand(x[i]);
+    CAMAL_CHECK(phi.size() == first.size());
+    for (size_t j = 0; j < phi.size(); ++j) design(i, j) = phi[j];
+  }
+  beta_ = RidgeSolve(design, y, l2_);
+}
+
+double PolyRegression::Predict(const std::vector<double>& x) const {
+  CAMAL_CHECK(!beta_.empty());
+  const std::vector<double> phi = Expand(x);
+  CAMAL_CHECK(phi.size() == beta_.size());
+  double out = 0.0;
+  for (size_t j = 0; j < phi.size(); ++j) out += beta_[j] * phi[j];
+  return out;
+}
+
+}  // namespace camal::ml

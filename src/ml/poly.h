@@ -1,0 +1,42 @@
+#ifndef CAMAL_ML_POLY_H_
+#define CAMAL_ML_POLY_H_
+
+#include <functional>
+#include <vector>
+
+#include "ml/regressor.h"
+
+namespace camal::ml {
+
+/// Polynomial regression in the paper's sense: linear least squares over a
+/// set of basis functions phi(x) derived from the theoretical cost model
+/// (Equation 11, y = sum_i beta_i * x_i), fit with ridge-regularized normal
+/// equations.
+///
+/// The basis expansion is injected so the CAMAL layer can supply
+/// cost-model-specific terms; by default the raw features plus an intercept
+/// are used.
+class PolyRegression : public Regressor {
+ public:
+  using BasisFn = std::function<std::vector<double>(const std::vector<double>&)>;
+
+  explicit PolyRegression(double l2 = 1e-6, BasisFn basis = nullptr);
+
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+  bool fitted() const override { return !beta_.empty(); }
+
+  const std::vector<double>& coefficients() const { return beta_; }
+
+ private:
+  std::vector<double> Expand(const std::vector<double>& x) const;
+
+  double l2_;
+  BasisFn basis_;
+  std::vector<double> beta_;
+};
+
+}  // namespace camal::ml
+
+#endif  // CAMAL_ML_POLY_H_

@@ -1,0 +1,28 @@
+#ifndef CAMAL_ML_REGRESSOR_H_
+#define CAMAL_ML_REGRESSOR_H_
+
+#include <vector>
+
+namespace camal::ml {
+
+/// Common interface of the ML cost models CAMAL can embed (Section 7 of the
+/// paper): polynomial/ridge regression, gradient-boosted trees, and a small
+/// neural network.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits on rows `x` (all the same length) with targets `y`.
+  virtual void Fit(const std::vector<std::vector<double>>& x,
+                   const std::vector<double>& y) = 0;
+
+  /// Predicts the target for a feature row.
+  virtual double Predict(const std::vector<double>& x) const = 0;
+
+  /// True once Fit has been called with at least one sample.
+  virtual bool fitted() const = 0;
+};
+
+}  // namespace camal::ml
+
+#endif  // CAMAL_ML_REGRESSOR_H_

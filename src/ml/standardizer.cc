@@ -1,0 +1,59 @@
+#include "ml/standardizer.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace camal::ml {
+
+void Standardizer::Fit(const std::vector<std::vector<double>>& x) {
+  CAMAL_CHECK(!x.empty());
+  const size_t d = x[0].size();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(x.size());
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(x.size()));
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> Standardizer::Apply(const std::vector<double>& x) const {
+  CAMAL_CHECK(x.size() == mean_.size());
+  std::vector<double> out(x.size());
+  for (size_t j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - mean_[j]) * inv_std_[j];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Standardizer::ApplyAll(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(Apply(row));
+  return out;
+}
+
+void TargetScaler::Fit(const std::vector<double>& y) {
+  CAMAL_CHECK(!y.empty());
+  mean_ = 0.0;
+  for (double v : y) mean_ += v;
+  mean_ /= static_cast<double>(y.size());
+  double var = 0.0;
+  for (double v : y) var += (v - mean_) * (v - mean_);
+  const double sd = std::sqrt(var / static_cast<double>(y.size()));
+  inv_std_ = sd > 1e-12 ? 1.0 / sd : 1.0;
+}
+
+}  // namespace camal::ml

@@ -1,0 +1,36 @@
+#ifndef CAMAL_ML_STANDARDIZER_H_
+#define CAMAL_ML_STANDARDIZER_H_
+
+#include <vector>
+
+namespace camal::ml {
+
+/// Per-feature z-score scaling fit on training rows, applied at inference.
+class Standardizer {
+ public:
+  void Fit(const std::vector<std::vector<double>>& x);
+  std::vector<double> Apply(const std::vector<double>& x) const;
+  std::vector<std::vector<double>> ApplyAll(
+      const std::vector<std::vector<double>>& x) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+/// Scalar z-score scaling for targets.
+class TargetScaler {
+ public:
+  void Fit(const std::vector<double>& y);
+  double Scale(double y) const { return (y - mean_) * inv_std_; }
+  double Unscale(double z) const { return z / inv_std_ + mean_; }
+
+ private:
+  double mean_ = 0.0;
+  double inv_std_ = 1.0;
+};
+
+}  // namespace camal::ml
+
+#endif  // CAMAL_ML_STANDARDIZER_H_

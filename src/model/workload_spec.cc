@@ -1,0 +1,80 @@
+#include "model/workload_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace camal::model {
+
+WorkloadSpec WorkloadSpec::Normalized() const {
+  const double total = Total();
+  CAMAL_CHECK(total > 0.0);
+  WorkloadSpec out = *this;
+  out.v /= total;
+  out.r /= total;
+  out.q /= total;
+  out.w /= total;
+  return out;
+}
+
+std::string WorkloadSpec::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "(v=%.2f r=%.2f q=%.2f w=%.2f skew=%.2f)",
+                v, r, q, w, skew);
+  return buf;
+}
+
+double KlDivergence(const WorkloadSpec& a_in, const WorkloadSpec& b_in) {
+  const WorkloadSpec a = a_in.Normalized();
+  const WorkloadSpec b = b_in.Normalized();
+  const double pa[4] = {a.v, a.r, a.q, a.w};
+  const double pb[4] = {b.v, b.r, b.q, b.w};
+  double kl = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const double p = std::max(pa[i], 1e-9);
+    const double q = std::max(pb[i], 1e-9);
+    kl += p * std::log(p / q);
+  }
+  return kl;
+}
+
+WorkloadSpec SampleInKlBall(const WorkloadSpec& center, double rho,
+                            util::Random* rng) {
+  const WorkloadSpec c = center.Normalized();
+  if (rho <= 0.0) return c;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    // Perturb with Gamma(alpha)-weighted resampling around the center.
+    double p[4] = {c.v, c.r, c.q, c.w};
+    double total = 0.0;
+    for (double& x : p) {
+      const double noise = std::exp(0.8 * rng->NextGaussian());
+      x = std::max(1e-4, x * noise);
+      total += x;
+    }
+    WorkloadSpec cand;
+    cand.v = p[0] / total;
+    cand.r = p[1] / total;
+    cand.q = p[2] / total;
+    cand.w = p[3] / total;
+    cand.skew = c.skew;
+    cand.delete_frac = c.delete_frac;
+    if (KlDivergence(cand, c) <= rho) return cand;
+  }
+  return c;
+}
+
+WorkloadSpec Interpolate(const WorkloadSpec& a, const WorkloadSpec& b,
+                         double t) {
+  WorkloadSpec out;
+  out.v = a.v + (b.v - a.v) * t;
+  out.r = a.r + (b.r - a.r) * t;
+  out.q = a.q + (b.q - a.q) * t;
+  out.w = a.w + (b.w - a.w) * t;
+  out.skew = a.skew + (b.skew - a.skew) * t;
+  out.delete_frac = a.delete_frac + (b.delete_frac - a.delete_frac) * t;
+  return out.Normalized();
+}
+
+}  // namespace camal::model

@@ -1,0 +1,51 @@
+#ifndef CAMAL_MODEL_WORKLOAD_SPEC_H_
+#define CAMAL_MODEL_WORKLOAD_SPEC_H_
+
+#include <string>
+
+#include "util/random.h"
+
+namespace camal::model {
+
+/// Operation mix of a workload (the paper's (v, r, q, w) vector) plus the
+/// data-distribution knobs used by the evaluation section.
+struct WorkloadSpec {
+  /// Fraction of zero-result point lookups (v).
+  double v = 0.25;
+  /// Fraction of non-zero-result point lookups (r).
+  double r = 0.25;
+  /// Fraction of range lookups (q).
+  double q = 0.25;
+  /// Fraction of writes (w).
+  double w = 0.25;
+
+  /// Zipfian skew coefficient for key choice; 0 = uniform.
+  double skew = 0.0;
+  /// Fraction of writes that are deletes (the rest are updates/inserts).
+  double delete_frac = 0.0;
+
+  /// Rescales (v, r, q, w) to sum to 1. Requires a positive sum.
+  WorkloadSpec Normalized() const;
+
+  /// Sum of the four operation fractions.
+  double Total() const { return v + r + q + w; }
+
+  std::string ToString() const;
+};
+
+/// KL divergence KL(a || b) between two (normalized) operation mixes, the
+/// distance Endure uses to define workload-uncertainty regions.
+double KlDivergence(const WorkloadSpec& a, const WorkloadSpec& b);
+
+/// Samples a workload whose KL divergence from `center` is at most `rho`
+/// (rejection sampling over Dirichlet-ish perturbations).
+WorkloadSpec SampleInKlBall(const WorkloadSpec& center, double rho,
+                            util::Random* rng);
+
+/// Linear interpolation between two mixes (used by shifting workloads).
+WorkloadSpec Interpolate(const WorkloadSpec& a, const WorkloadSpec& b,
+                         double t);
+
+}  // namespace camal::model
+
+#endif  // CAMAL_MODEL_WORKLOAD_SPEC_H_

@@ -1,0 +1,48 @@
+#include "sim/device.h"
+
+#include <algorithm>
+
+namespace camal::sim {
+
+Device::Device(const DeviceConfig& config)
+    : config_(config), jitter_rng_(config.jitter_seed) {}
+
+void Device::ReadBlock() {
+  ++block_reads_;
+  double ns = config_.read_block_us * 1000.0;
+  if (config_.io_jitter_frac > 0.0) {
+    const double f = 1.0 + config_.io_jitter_frac * jitter_rng_.NextGaussian();
+    ns *= std::max(0.1, f);
+  }
+  elapsed_ns_ += ns;
+}
+
+void Device::ReadBlockSequential() {
+  ++block_reads_;
+  double ns = config_.seq_read_block_us * 1000.0;
+  if (config_.io_jitter_frac > 0.0) {
+    const double f = 1.0 + config_.io_jitter_frac * jitter_rng_.NextGaussian();
+    ns *= std::max(0.1, f);
+  }
+  elapsed_ns_ += ns;
+}
+
+void Device::WriteBlock() {
+  ++block_writes_;
+  double ns = config_.write_block_us * 1000.0;
+  if (config_.io_jitter_frac > 0.0) {
+    const double f = 1.0 + config_.io_jitter_frac * jitter_rng_.NextGaussian();
+    ns *= std::max(0.1, f);
+  }
+  elapsed_ns_ += ns;
+}
+
+void Device::ChargeCpu(double ns) { elapsed_ns_ += ns; }
+
+void Device::Reset() {
+  block_reads_ = 0;
+  block_writes_ = 0;
+  elapsed_ns_ = 0.0;
+}
+
+}  // namespace camal::sim

@@ -1,0 +1,54 @@
+#ifndef CAMAL_UTIL_STATS_H_
+#define CAMAL_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace camal::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores every observation and answers arbitrary quantile queries.
+/// Intended for per-experiment latency distributions (≤ a few million
+/// samples), not for unbounded streams.
+class PercentileSketch {
+ public:
+  void Add(double x) { values_.push_back(x); sorted_ = false; }
+
+  /// q in [0, 1]; e.g. Quantile(0.9) is the 90th percentile. Returns 0 when
+  /// empty.
+  double Quantile(double q);
+
+  double Mean() const;
+  size_t count() const { return values_.size(); }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+}  // namespace camal::util
+
+#endif  // CAMAL_UTIL_STATS_H_

@@ -1,0 +1,78 @@
+#ifndef CAMAL_UTIL_STATUS_H_
+#define CAMAL_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace camal::util {
+
+/// Lightweight error-reporting type used across API boundaries instead of
+/// exceptions (the codebase is exception-free, in the Google/Arrow style).
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+
+  /// Human-readable message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + message_;
+      case Code::kNotFound:
+        return "NotFound: " + message_;
+      case Code::kFailedPrecondition:
+        return "FailedPrecondition: " + message_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  enum class Code { kOk, kInvalidArgument, kNotFound, kFailedPrecondition };
+
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace camal::util
+
+/// Aborts the process when `expr` is false. Used for programmer errors and
+/// internal invariants, never for recoverable conditions.
+#define CAMAL_CHECK(expr)                                           \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::camal::util::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                               \
+  } while (0)
+
+#endif  // CAMAL_UTIL_STATUS_H_

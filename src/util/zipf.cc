@@ -1,0 +1,40 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace camal::util {
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  CAMAL_CHECK(n > 0);
+  CAMAL_CHECK(theta >= 0.0 && theta < 1.0);
+  if (theta_ > 0.0) {
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+}
+
+uint64_t ZipfGenerator::Next(Random* rng) const {
+  if (theta_ == 0.0) return rng->Uniform(n_);
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace camal::util

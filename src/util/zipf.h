@@ -1,0 +1,37 @@
+#ifndef CAMAL_UTIL_ZIPF_H_
+#define CAMAL_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace camal::util {
+
+/// Zipfian rank sampler over {0, .., n-1} with skew coefficient theta,
+/// following the rejection-inversion style used by YCSB (Gray et al.).
+///
+/// theta = 0 degenerates to a uniform distribution; theta close to 1 is
+/// highly skewed. Rank 0 is the hottest item.
+class ZipfGenerator {
+ public:
+  /// Requires n > 0 and 0 <= theta < 1.
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Samples a rank in [0, n).
+  uint64_t Next(Random* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_ = 0.0;
+  double zetan_ = 0.0;
+  double eta_ = 0.0;
+  double zeta2_ = 0.0;
+};
+
+}  // namespace camal::util
+
+#endif  // CAMAL_UTIL_ZIPF_H_

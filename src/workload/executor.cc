@@ -1,0 +1,53 @@
+#include "workload/executor.h"
+
+#include <vector>
+
+namespace camal::workload {
+
+ExecutionResult Execute(lsm::LsmTree* tree, const model::WorkloadSpec& spec,
+                        const ExecutorConfig& config, KeySpace* keys) {
+  ExecutionResult result;
+  OperationGenerator gen(spec, keys, config.generator, config.seed);
+  sim::Device* device = tree->device();
+  std::vector<lsm::Entry> scan_buf;
+
+  for (size_t i = 0; i < config.num_ops; ++i) {
+    const Operation op = gen.Next();
+    const sim::DeviceSnapshot before = device->Snapshot();
+    switch (op.type) {
+      case OpType::kZeroResultLookup:
+      case OpType::kNonZeroResultLookup: {
+        uint64_t value = 0;
+        if (tree->Get(op.key, &value)) {
+          ++result.lookups_found;
+        } else {
+          ++result.lookups_missed;
+        }
+        break;
+      }
+      case OpType::kRangeLookup:
+        scan_buf.clear();
+        tree->Scan(op.key, op.scan_len, &scan_buf);
+        break;
+      case OpType::kWrite:
+        tree->Put(op.key, op.value);
+        break;
+      case OpType::kDelete:
+        tree->Delete(op.key);
+        break;
+    }
+    const sim::DeviceSnapshot delta = device->Snapshot().Delta(before);
+    result.latency_ns.Add(delta.elapsed_ns);
+    result.total_ns += delta.elapsed_ns;
+    result.total_ios += delta.TotalIos();
+  }
+  result.num_ops = config.num_ops;
+  return result;
+}
+
+void BulkLoad(lsm::LsmTree* tree, const KeySpace& keys) {
+  uint64_t value = 1;
+  for (uint64_t key : keys.keys()) tree->Put(key, value++);
+}
+
+}  // namespace camal::workload

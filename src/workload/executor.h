@@ -1,0 +1,50 @@
+#ifndef CAMAL_WORKLOAD_EXECUTOR_H_
+#define CAMAL_WORKLOAD_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "lsm/lsm_tree.h"
+#include "model/workload_spec.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace camal::workload {
+
+/// Execution knobs.
+struct ExecutorConfig {
+  size_t num_ops = 2000;
+  GeneratorConfig generator;
+  uint64_t seed = 1;
+};
+
+/// What a workload run measured.
+struct ExecutionResult {
+  util::PercentileSketch latency_ns;
+  double total_ns = 0.0;
+  uint64_t total_ios = 0;
+  size_t num_ops = 0;
+  size_t lookups_found = 0;
+  size_t lookups_missed = 0;
+
+  double MeanLatencyNs() const {
+    return num_ops == 0 ? 0.0 : total_ns / static_cast<double>(num_ops);
+  }
+  double IosPerOp() const {
+    return num_ops == 0 ? 0.0
+                        : static_cast<double>(total_ios) /
+                              static_cast<double>(num_ops);
+  }
+};
+
+/// Runs `config.num_ops` operations drawn from `spec` against `tree`,
+/// measuring per-operation simulated latency and I/O through the tree's
+/// device.
+ExecutionResult Execute(lsm::LsmTree* tree, const model::WorkloadSpec& spec,
+                        const ExecutorConfig& config, KeySpace* keys);
+
+/// Bulk-loads every key of `keys` into `tree` (initial data ingestion).
+void BulkLoad(lsm::LsmTree* tree, const KeySpace& keys);
+
+}  // namespace camal::workload
+
+#endif  // CAMAL_WORKLOAD_EXECUTOR_H_

@@ -1,0 +1,82 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace camal::workload {
+
+KeySpace::KeySpace(uint64_t num_keys, uint64_t seed) {
+  CAMAL_CHECK(num_keys > 0);
+  keys_.resize(num_keys);
+  for (uint64_t i = 0; i < num_keys; ++i) keys_[i] = 2 * (i + 1);
+  next_even_ = 2 * (num_keys + 1);
+  util::Random rng(seed);
+  for (uint64_t i = num_keys; i > 1; --i) {
+    std::swap(keys_[i - 1], keys_[rng.Uniform(i)]);
+  }
+}
+
+uint64_t KeySpace::MissingKey(util::Random* rng) const {
+  // Odd keys are never inserted.
+  return 2 * rng->Uniform(next_even_ / 2) + 1;
+}
+
+uint64_t KeySpace::AppendKey() {
+  const uint64_t key = next_even_;
+  next_even_ += 2;
+  keys_.push_back(key);
+  return key;
+}
+
+OperationGenerator::OperationGenerator(const model::WorkloadSpec& spec,
+                                       KeySpace* keys,
+                                       const GeneratorConfig& config,
+                                       uint64_t seed)
+    : spec_(spec.Normalized()), keys_(keys), config_(config), rng_(seed) {}
+
+void OperationGenerator::SetSpec(const model::WorkloadSpec& spec) {
+  spec_ = spec.Normalized();
+}
+
+uint64_t OperationGenerator::ExistingRank() {
+  const uint64_t n = keys_->num_keys();
+  if (spec_.skew <= 0.0) return rng_.Uniform(n);
+  // Rebuild the Zipf sampler when the domain drifts (data growth) or the
+  // skew changed.
+  if (zipf_ == nullptr || zipf_->theta() != spec_.skew ||
+      zipf_domain_ < n * 9 / 10 || zipf_domain_ > n) {
+    zipf_ = std::make_unique<util::ZipfGenerator>(n, spec_.skew);
+    zipf_domain_ = n;
+  }
+  return std::min<uint64_t>(zipf_->Next(&rng_), n - 1);
+}
+
+Operation OperationGenerator::Next() {
+  Operation op;
+  const double u = rng_.NextDouble();
+  if (u < spec_.v) {
+    op.type = OpType::kZeroResultLookup;
+    op.key = keys_->MissingKey(&rng_);
+  } else if (u < spec_.v + spec_.r) {
+    op.type = OpType::kNonZeroResultLookup;
+    op.key = keys_->KeyAt(ExistingRank());
+  } else if (u < spec_.v + spec_.r + spec_.q) {
+    op.type = OpType::kRangeLookup;
+    op.key = keys_->KeyAt(ExistingRank());
+    op.scan_len = config_.scan_len;
+  } else {
+    if (spec_.delete_frac > 0.0 && rng_.Bernoulli(spec_.delete_frac)) {
+      op.type = OpType::kDelete;
+      op.key = keys_->KeyAt(ExistingRank());
+    } else {
+      op.type = OpType::kWrite;
+      op.key = config_.insert_new_keys ? keys_->AppendKey()
+                                       : keys_->KeyAt(ExistingRank());
+      op.value = next_value_++;
+    }
+  }
+  return op;
+}
+
+}  // namespace camal::workload

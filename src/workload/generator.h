@@ -1,0 +1,91 @@
+#ifndef CAMAL_WORKLOAD_GENERATOR_H_
+#define CAMAL_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/workload_spec.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace camal::workload {
+
+/// The kinds of operations a workload stream emits.
+enum class OpType {
+  kZeroResultLookup,
+  kNonZeroResultLookup,
+  kRangeLookup,
+  kWrite,
+  kDelete,
+};
+
+/// One generated operation.
+struct Operation {
+  OpType type = OpType::kWrite;
+  uint64_t key = 0;
+  uint64_t value = 0;
+  size_t scan_len = 0;
+};
+
+/// Manages the live key population: existing keys are shuffled even
+/// integers (so hot Zipfian ranks are scattered across the key space) and
+/// odd integers are guaranteed misses for zero-result lookups.
+class KeySpace {
+ public:
+  KeySpace(uint64_t num_keys, uint64_t seed);
+
+  uint64_t num_keys() const { return keys_.size(); }
+  uint64_t KeyAt(uint64_t rank) const { return keys_[rank]; }
+
+  /// A key guaranteed absent from the store.
+  uint64_t MissingKey(util::Random* rng) const;
+
+  /// Appends a brand-new key (for insert-heavy dynamic phases) and returns
+  /// it.
+  uint64_t AppendKey();
+
+  /// All keys in insertion order (used for the initial bulk load).
+  const std::vector<uint64_t>& keys() const { return keys_; }
+
+ private:
+  std::vector<uint64_t> keys_;
+  uint64_t next_even_;
+};
+
+/// Stream generation knobs.
+struct GeneratorConfig {
+  /// Range-lookup selectivity in entries (s).
+  size_t scan_len = 16;
+  /// When true, write operations insert new keys (growing the data); when
+  /// false they update existing keys (steady state).
+  bool insert_new_keys = false;
+};
+
+/// Draws operations matching a WorkloadSpec's mix, key skew, and delete
+/// fraction.
+class OperationGenerator {
+ public:
+  OperationGenerator(const model::WorkloadSpec& spec, KeySpace* keys,
+                     const GeneratorConfig& config, uint64_t seed);
+
+  Operation Next();
+
+  /// Swaps in a new mix mid-stream (dynamic mode).
+  void SetSpec(const model::WorkloadSpec& spec);
+
+ private:
+  uint64_t ExistingRank();
+
+  model::WorkloadSpec spec_;
+  KeySpace* keys_;
+  GeneratorConfig config_;
+  util::Random rng_;
+  std::unique_ptr<util::ZipfGenerator> zipf_;
+  uint64_t zipf_domain_ = 0;
+  uint64_t next_value_ = 1;
+};
+
+}  // namespace camal::workload
+
+#endif  // CAMAL_WORKLOAD_GENERATOR_H_

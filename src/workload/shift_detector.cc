@@ -1,0 +1,63 @@
+#include "workload/shift_detector.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace camal::workload {
+
+ShiftDetector::ShiftDetector(size_t window_ops, double threshold)
+    : window_ops_(window_ops), threshold_(threshold) {
+  CAMAL_CHECK(window_ops > 0);
+  CAMAL_CHECK(threshold >= 0.0);
+}
+
+bool ShiftDetector::Record(OpType type) {
+  switch (type) {
+    case OpType::kZeroResultLookup:
+      ++counts_[0];
+      break;
+    case OpType::kNonZeroResultLookup:
+      ++counts_[1];
+      break;
+    case OpType::kRangeLookup:
+      ++counts_[2];
+      break;
+    case OpType::kWrite:
+    case OpType::kDelete:
+      ++counts_[3];
+      break;
+  }
+  if (++in_window_ < window_ops_) return false;
+
+  // Window boundary: compute fractions and compare to the reference.
+  double frac[4];
+  for (int i = 0; i < 4; ++i) {
+    frac[i] = static_cast<double>(counts_[i]) /
+              static_cast<double>(window_ops_);
+    counts_[i] = 0;
+  }
+  in_window_ = 0;
+  last_window_.v = frac[0];
+  last_window_.r = frac[1];
+  last_window_.q = frac[2];
+  last_window_.w = frac[3];
+
+  bool trigger = !has_reference_;
+  if (has_reference_) {
+    for (int i = 0; i < 4; ++i) {
+      if (std::fabs(frac[i] - reference_[i]) > threshold_) {
+        trigger = true;
+        break;
+      }
+    }
+  }
+  if (trigger) {
+    has_reference_ = true;
+    for (int i = 0; i < 4; ++i) reference_[i] = frac[i];
+    ++reconfigurations_;
+  }
+  return trigger;
+}
+
+}  // namespace camal::workload

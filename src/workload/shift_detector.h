@@ -1,0 +1,46 @@
+#ifndef CAMAL_WORKLOAD_SHIFT_DETECTOR_H_
+#define CAMAL_WORKLOAD_SHIFT_DETECTOR_H_
+
+#include <cstddef>
+
+#include "model/workload_spec.h"
+#include "workload/generator.h"
+
+namespace camal::workload {
+
+/// Threshold-based workload-change detector (Section 6 of the paper).
+///
+/// Counts operation types over windows of `p` operations; at each window
+/// boundary, if any operation fraction deviates from its value at the last
+/// reconfiguration by more than `tau`, it signals that a reconfiguration
+/// should run.
+class ShiftDetector {
+ public:
+  ShiftDetector(size_t window_ops, double threshold);
+
+  /// Records one operation. Returns true exactly when a reconfiguration
+  /// should be triggered (evaluated at window boundaries; the very first
+  /// completed window always triggers the initial tuning).
+  bool Record(OpType type);
+
+  /// Mix observed over the most recently completed window.
+  const model::WorkloadSpec& LastWindowSpec() const { return last_window_; }
+
+  size_t window_ops() const { return window_ops_; }
+  double threshold() const { return threshold_; }
+  size_t reconfigurations() const { return reconfigurations_; }
+
+ private:
+  size_t window_ops_;
+  double threshold_;
+  size_t counts_[4] = {0, 0, 0, 0};  // v, r, q, w(+deletes)
+  size_t in_window_ = 0;
+  bool has_reference_ = false;
+  double reference_[4] = {0, 0, 0, 0};
+  model::WorkloadSpec last_window_;
+  size_t reconfigurations_ = 0;
+};
+
+}  // namespace camal::workload
+
+#endif  // CAMAL_WORKLOAD_SHIFT_DETECTOR_H_

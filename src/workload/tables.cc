@@ -1,0 +1,54 @@
+#include "workload/tables.h"
+
+namespace camal::workload {
+
+namespace {
+model::WorkloadSpec Make(double v, double r, double q, double w) {
+  model::WorkloadSpec spec;
+  spec.v = v;
+  spec.r = r;
+  spec.q = q;
+  spec.w = w;
+  return spec.Normalized();
+}
+}  // namespace
+
+std::vector<model::WorkloadSpec> TrainingWorkloads() {
+  // Table 1: operation percentages in 15 training workloads.
+  return {
+      Make(25, 25, 25, 25),  // 1  uniform
+      Make(97, 1, 1, 1),     // 2  unimodal
+      Make(1, 97, 1, 1),     // 3
+      Make(1, 1, 97, 1),     // 4
+      Make(1, 1, 1, 97),     // 5
+      Make(49, 49, 1, 1),    // 6  bimodal
+      Make(49, 1, 49, 1),    // 7
+      Make(49, 1, 1, 49),    // 8
+      Make(1, 49, 49, 1),    // 9
+      Make(1, 49, 1, 49),    // 10
+      Make(1, 1, 49, 49),    // 11
+      Make(33, 33, 33, 1),   // 12 trimodal
+      Make(33, 33, 1, 33),   // 13
+      Make(33, 1, 33, 33),   // 14
+      Make(1, 33, 33, 33),   // 15
+  };
+}
+
+std::vector<model::WorkloadSpec> ShiftingWorkloads() {
+  // Table 2: operation percentages in 24 test workloads; weights shift
+  // gradually from zero-result-lookup-heavy through write-heavy.
+  const double v[24] = {60, 75, 91, 75, 60, 45, 30, 15, 3,  5,  5,  5,
+                        5,  5,  3,  5,  5,  5,  5,  5,  3,  15, 30, 45};
+  const double r[24] = {5,  5,  3,  15, 30, 45, 60, 75, 91, 75, 60, 45,
+                        30, 15, 3,  5,  5,  5,  5,  5,  3,  5,  5,  5};
+  const double q[24] = {5,  5,  3,  5,  5,  5,  5,  5,  3,  15, 30, 45,
+                        60, 75, 91, 75, 60, 45, 30, 15, 3,  5,  5,  5};
+  const double w[24] = {30, 15, 3,  5,  5,  5,  5,  5,  3,  5,  5,  5,
+                        5,  5,  3,  15, 30, 45, 60, 75, 91, 75, 60, 45};
+  std::vector<model::WorkloadSpec> out;
+  out.reserve(24);
+  for (int i = 0; i < 24; ++i) out.push_back(Make(v[i], r[i], q[i], w[i]));
+  return out;
+}
+
+}  // namespace camal::workload

@@ -1,0 +1,19 @@
+#ifndef CAMAL_WORKLOAD_TABLES_H_
+#define CAMAL_WORKLOAD_TABLES_H_
+
+#include <vector>
+
+#include "model/workload_spec.h"
+
+namespace camal::workload {
+
+/// The 15 standard training workloads of Table 1 (uni/bi/tri-modal mixes).
+std::vector<model::WorkloadSpec> TrainingWorkloads();
+
+/// The 24 shifting test workloads of Table 2 (weights progressively
+/// transition between operation types).
+std::vector<model::WorkloadSpec> ShiftingWorkloads();
+
+}  // namespace camal::workload
+
+#endif  // CAMAL_WORKLOAD_TABLES_H_

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "lsm/block_cache.h"
+
+namespace camal::lsm {
+namespace {
+
+TEST(BlockCacheTest, MissThenHit) {
+  BlockCache cache(4);
+  EXPECT_FALSE(cache.Lookup(1));
+  cache.Insert(1);
+  EXPECT_TRUE(cache.Lookup(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  BlockCache cache(2);
+  cache.Insert(1);
+  cache.Insert(2);
+  EXPECT_TRUE(cache.Lookup(1));  // promote 1; LRU is now 2
+  cache.Insert(3);               // evicts 2
+  EXPECT_TRUE(cache.Lookup(1));
+  EXPECT_FALSE(cache.Lookup(2));
+  EXPECT_TRUE(cache.Lookup(3));
+}
+
+TEST(BlockCacheTest, ZeroCapacityNeverCaches) {
+  BlockCache cache(0);
+  cache.Insert(1);
+  EXPECT_FALSE(cache.Lookup(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BlockCacheTest, ReinsertPromotes) {
+  BlockCache cache(2);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(1);  // promote, not duplicate
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Insert(3);  // evicts 2
+  EXPECT_FALSE(cache.Lookup(2));
+  EXPECT_TRUE(cache.Lookup(1));
+}
+
+TEST(BlockCacheTest, ResizeShrinkEvicts) {
+  BlockCache cache(4);
+  for (uint64_t k = 1; k <= 4; ++k) cache.Insert(k);
+  cache.Resize(2);
+  EXPECT_EQ(cache.size(), 2u);
+  // The two most recently used (3, 4) survive.
+  EXPECT_TRUE(cache.Lookup(4));
+  EXPECT_TRUE(cache.Lookup(3));
+  EXPECT_FALSE(cache.Lookup(1));
+}
+
+TEST(BlockCacheTest, ResizeGrowKeepsContents) {
+  BlockCache cache(2);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Resize(8);
+  EXPECT_TRUE(cache.Lookup(1));
+  EXPECT_TRUE(cache.Lookup(2));
+}
+
+TEST(BlockCacheTest, ClearEmpties) {
+  BlockCache cache(4);
+  cache.Insert(1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(1));
+}
+
+TEST(BlockCacheTest, MakeKeyDistinguishesRunsAndBlocks) {
+  EXPECT_NE(BlockCache::MakeKey(1, 0), BlockCache::MakeKey(2, 0));
+  EXPECT_NE(BlockCache::MakeKey(1, 0), BlockCache::MakeKey(1, 1));
+}
+
+}  // namespace
+}  // namespace camal::lsm

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "camal/classic_tuner.h"
+#include "camal/dynamic_tuner.h"
+#include "camal/extrapolation.h"
+#include "camal/sample.h"
+#include "workload/tables.h"
+
+namespace camal::tune {
+namespace {
+
+SystemSetup TinySetup() {
+  SystemSetup setup;
+  setup.num_entries = 6000;
+  setup.total_memory_bits = 16 * 6000;
+  setup.train_ops = 400;
+  setup.eval_ops = 800;
+  return setup;
+}
+
+// Recommender used by the tests: the closed-form classic tuner (cheap,
+// deterministic, workload-sensitive).
+RecommendFn ClassicRecommender(const SystemSetup& setup) {
+  auto tuner = std::make_shared<ClassicTuner>(setup, TunerOptions{});
+  return [tuner](const model::WorkloadSpec& w,
+                 const model::SystemParams& target) {
+    return tuner->RecommendFor(w, target);
+  };
+}
+
+TEST(DynamicTunerTest, InitialWindowTriggersReconfiguration) {
+  const SystemSetup setup = TinySetup();
+  sim::Device device(setup.device);
+  workload::KeySpace keys(setup.num_entries, setup.seed);
+  lsm::LsmTree tree(MonkeyDefaultConfig(setup).ToOptions(setup), &device);
+  workload::BulkLoad(&tree, keys);
+
+  DynamicTuner::Params params;
+  params.window_ops = 200;
+  params.tau = 0.1;
+  DynamicTuner dyn(ClassicRecommender(setup), setup, params);
+  dyn.RunPhase(&tree, &keys, model::WorkloadSpec{0.25, 0.25, 0.25, 0.25},
+               600, 1);
+  EXPECT_GE(dyn.reconfigurations(), 1u);
+}
+
+TEST(DynamicTunerTest, ShiftTriggersRetune) {
+  const SystemSetup setup = TinySetup();
+  sim::Device device(setup.device);
+  workload::KeySpace keys(setup.num_entries, setup.seed);
+  lsm::LsmTree tree(MonkeyDefaultConfig(setup).ToOptions(setup), &device);
+  workload::BulkLoad(&tree, keys);
+
+  DynamicTuner::Params params;
+  params.window_ops = 300;
+  params.tau = 0.1;
+  DynamicTuner dyn(ClassicRecommender(setup), setup, params);
+  dyn.RunPhase(&tree, &keys, model::WorkloadSpec{0.05, 0.05, 0.0, 0.9}, 900,
+               1);
+  const size_t after_writes = dyn.reconfigurations();
+  dyn.RunPhase(&tree, &keys, model::WorkloadSpec{0.05, 0.05, 0.9, 0.0}, 900,
+               2);
+  EXPECT_GT(dyn.reconfigurations(), after_writes);
+  // The applied config should reflect the range-heavy estimate: large T.
+  EXPECT_GT(dyn.last_applied().size_ratio, 8.0);
+}
+
+TEST(DynamicTunerTest, StableWorkloadReconfiguresOnce) {
+  const SystemSetup setup = TinySetup();
+  sim::Device device(setup.device);
+  workload::KeySpace keys(setup.num_entries, setup.seed);
+  lsm::LsmTree tree(MonkeyDefaultConfig(setup).ToOptions(setup), &device);
+  workload::BulkLoad(&tree, keys);
+
+  DynamicTuner::Params params;
+  params.window_ops = 200;
+  params.tau = 0.15;
+  DynamicTuner dyn(ClassicRecommender(setup), setup, params);
+  for (int phase = 0; phase < 3; ++phase) {
+    dyn.RunPhase(&tree, &keys, model::WorkloadSpec{0.25, 0.25, 0.25, 0.25},
+                 600, static_cast<uint64_t>(phase));
+  }
+  EXPECT_EQ(dyn.reconfigurations(), 1u);
+}
+
+TEST(DynamicTunerTest, DataGrowsDuringPhases) {
+  const SystemSetup setup = TinySetup();
+  sim::Device device(setup.device);
+  workload::KeySpace keys(setup.num_entries, setup.seed);
+  lsm::LsmTree tree(MonkeyDefaultConfig(setup).ToOptions(setup), &device);
+  workload::BulkLoad(&tree, keys);
+  const uint64_t before = tree.TotalEntries();
+
+  DynamicTuner::Params params;
+  DynamicTuner dyn(ClassicRecommender(setup), setup, params);
+  dyn.RunPhase(&tree, &keys, model::WorkloadSpec{0.0, 0.0, 0.0, 1.0}, 2000,
+               1);
+  EXPECT_GT(tree.TotalEntries(), before + 1500);
+  EXPECT_EQ(keys.num_keys(), setup.num_entries + 2000);
+}
+
+TEST(DynamicTunerTest, TreeStaysCorrectAcrossReconfigurations) {
+  const SystemSetup setup = TinySetup();
+  sim::Device device(setup.device);
+  workload::KeySpace keys(setup.num_entries, setup.seed);
+  lsm::LsmTree tree(MonkeyDefaultConfig(setup).ToOptions(setup), &device);
+  workload::BulkLoad(&tree, keys);
+
+  DynamicTuner::Params params;
+  params.window_ops = 150;
+  params.tau = 0.05;
+  DynamicTuner dyn(ClassicRecommender(setup), setup, params);
+  const auto shifting = workload::ShiftingWorkloads();
+  for (size_t i = 0; i < 6; ++i) {
+    const auto result = dyn.RunPhase(&tree, &keys, shifting[i * 4], 500, i);
+    // Workloads with non-zero-result lookups must find keys; zero-result
+    // lookups must miss (odd keys are never inserted).
+    if (shifting[i * 4].r > 0.1) EXPECT_GT(result.lookups_found, 0u);
+    if (shifting[i * 4].v > 0.1) EXPECT_GT(result.lookups_missed, 0u);
+  }
+  // Spot check a few original keys survived every transition.
+  uint64_t value = 0;
+  EXPECT_TRUE(tree.Get(keys.KeyAt(0), &value));
+  EXPECT_TRUE(tree.Get(keys.KeyAt(100), &value));
+}
+
+}  // namespace
+}  // namespace camal::tune

@@ -1,0 +1,240 @@
+// Edge cases and failure-injection-style tests for the engine and tuners:
+// empty structures, boundary keys, degenerate configurations, and repeated
+// online reconfiguration under load.
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "camal/camal_tuner.h"
+#include "camal/evaluator.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/monkey.h"
+#include "model/optimum.h"
+#include "util/random.h"
+
+namespace camal {
+namespace {
+
+sim::DeviceConfig QuietDevice() {
+  sim::DeviceConfig cfg;
+  cfg.io_jitter_frac = 0.0;
+  return cfg;
+}
+
+lsm::Options TinyOptions() {
+  lsm::Options opts;
+  opts.entry_bytes = 128;
+  opts.buffer_bytes = 128 * 16;
+  opts.size_ratio = 3.0;
+  opts.bloom_bits = 10 * 2000;
+  return opts;
+}
+
+TEST(EdgeCaseTest, EmptyTreeOperations) {
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(TinyOptions(), &dev);
+  uint64_t value = 0;
+  EXPECT_FALSE(tree.Get(1, &value));
+  std::vector<lsm::Entry> out;
+  EXPECT_EQ(tree.Scan(0, 10, &out), 0u);
+  tree.FlushMemtable();  // no-op on empty memtable
+  EXPECT_EQ(tree.DiskEntries(), 0u);
+  EXPECT_EQ(tree.NumPopulatedLevels(), 0);
+}
+
+TEST(EdgeCaseTest, GetWithNullValuePointer) {
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(TinyOptions(), &dev);
+  tree.Put(7, 70);
+  EXPECT_TRUE(tree.Get(7, nullptr));
+  EXPECT_FALSE(tree.Get(8, nullptr));
+}
+
+TEST(EdgeCaseTest, BoundaryKeys) {
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(TinyOptions(), &dev);
+  const uint64_t max_key = std::numeric_limits<uint64_t>::max();
+  tree.Put(0, 1);
+  tree.Put(max_key, 2);
+  tree.FlushMemtable();
+  uint64_t value = 0;
+  EXPECT_TRUE(tree.Get(0, &value));
+  EXPECT_EQ(value, 1u);
+  EXPECT_TRUE(tree.Get(max_key, &value));
+  EXPECT_EQ(value, 2u);
+  std::vector<lsm::Entry> out;
+  EXPECT_EQ(tree.Scan(max_key, 5, &out), 1u);
+}
+
+TEST(EdgeCaseTest, DeleteNonexistentKeyIsHarmless) {
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(TinyOptions(), &dev);
+  for (uint64_t k = 1; k <= 100; ++k) tree.Put(k, k);
+  tree.Delete(100000);  // never inserted
+  for (uint64_t k = 1; k <= 200; ++k) tree.Put(k + 1000, k);  // force flushes
+  uint64_t value = 0;
+  EXPECT_FALSE(tree.Get(100000, &value));
+  EXPECT_TRUE(tree.Get(50, &value));
+}
+
+TEST(EdgeCaseTest, DeleteEverythingThenScan) {
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(TinyOptions(), &dev);
+  for (uint64_t k = 1; k <= 300; ++k) tree.Put(k, k);
+  for (uint64_t k = 1; k <= 300; ++k) tree.Delete(k);
+  std::vector<lsm::Entry> out;
+  EXPECT_EQ(tree.Scan(0, 500, &out), 0u);
+  EXPECT_FALSE(tree.Get(150, nullptr));
+}
+
+TEST(EdgeCaseTest, ReinsertAfterDelete) {
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(TinyOptions(), &dev);
+  for (uint64_t k = 1; k <= 200; ++k) tree.Put(k, 1);
+  tree.Delete(42);
+  tree.FlushMemtable();
+  tree.Put(42, 99);
+  uint64_t value = 0;
+  ASSERT_TRUE(tree.Get(42, &value));
+  EXPECT_EQ(value, 99u);
+}
+
+TEST(EdgeCaseTest, ScanZeroEntriesRequested) {
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(TinyOptions(), &dev);
+  tree.Put(1, 1);
+  std::vector<lsm::Entry> out;
+  EXPECT_EQ(tree.Scan(0, 0, &out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EdgeCaseTest, HeavyOverwriteSingleKey) {
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(TinyOptions(), &dev);
+  for (uint64_t i = 0; i < 5000; ++i) tree.Put(7, i);
+  uint64_t value = 0;
+  ASSERT_TRUE(tree.Get(7, &value));
+  EXPECT_EQ(value, 4999u);
+  // Compaction must have collapsed the duplicates.
+  EXPECT_LE(tree.DiskEntries(), 64u);
+}
+
+TEST(EdgeCaseTest, RepeatedReconfigurationUnderLoad) {
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(TinyOptions(), &dev);
+  util::Random rng(3);
+  std::vector<double> ratios = {2.0, 8.0, 3.0, 12.0, 2.0, 6.0};
+  uint64_t key = 0;
+  for (double t : ratios) {
+    lsm::Options opts = TinyOptions();
+    opts.size_ratio = t;
+    opts.policy = rng.Bernoulli(0.5) ? lsm::CompactionPolicy::kLeveling
+                                     : lsm::CompactionPolicy::kTiering;
+    tree.Reconfigure(opts);
+    for (int i = 0; i < 600; ++i) tree.Put(++key, key);
+  }
+  // Everything written across all configurations is still readable.
+  uint64_t value = 0;
+  for (uint64_t probe = 1; probe <= key; probe += 97) {
+    ASSERT_TRUE(tree.Get(probe, &value)) << "key " << probe;
+    ASSERT_EQ(value, probe);
+  }
+}
+
+TEST(EdgeCaseTest, ZeroBloomBudgetStillCorrect) {
+  lsm::Options opts = TinyOptions();
+  opts.bloom_bits = 0;
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(opts, &dev);
+  for (uint64_t k = 1; k <= 1000; ++k) tree.Put(2 * k, k);
+  uint64_t value = 0;
+  EXPECT_TRUE(tree.Get(500, &value));
+  EXPECT_FALSE(tree.Get(501, &value));
+}
+
+TEST(EdgeCaseTest, MinimalSizeRatioTwo) {
+  lsm::Options opts = TinyOptions();
+  opts.size_ratio = 2.0;
+  sim::Device dev(QuietDevice());
+  lsm::LsmTree tree(opts, &dev);
+  for (uint64_t k = 1; k <= 3000; ++k) tree.Put(k * 3 % 8192, k);
+  // A deep tree (T=2 grows levels fastest) still honors capacity.
+  EXPECT_GE(tree.NumPopulatedLevels(), 4);
+  const auto counts = tree.LevelEntryCounts();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_LE(static_cast<double>(counts[i]),
+              opts.LevelCapacityEntries(static_cast<int>(i)) + 1e-9);
+  }
+}
+
+TEST(EdgeCaseTest, MonkeyAllocateSingleLevel) {
+  const auto bpk = lsm::MonkeyAllocate(50000.0, {5000});
+  EXPECT_NEAR(bpk[0], 10.0, 0.05);
+}
+
+TEST(EdgeCaseTest, MonkeyAllocateHugeBudgetSaturates) {
+  // With an absurd budget the solver must not loop or produce NaN.
+  const auto bpk = lsm::MonkeyAllocate(1e15, {100, 1000});
+  EXPECT_GT(bpk[0], 20.0);
+  EXPECT_TRUE(std::isfinite(bpk[0]));
+  EXPECT_TRUE(std::isfinite(bpk[1]));
+}
+
+TEST(EdgeCaseTest, OptimalMfHandlesPurePointReads) {
+  model::SystemParams p;
+  model::CostModel cm(p);
+  model::WorkloadSpec w{0.5, 0.5, 0.0, 0.0};
+  // With no writes/ranges, everything but the minimum buffer goes to
+  // filters.
+  const double mf = model::OptimalMfBitsLeveling(w, cm, 10.0);
+  EXPECT_NEAR(mf, p.total_memory_bits - model::MinBufferBits(p),
+              p.total_memory_bits * 0.01);
+}
+
+TEST(EdgeCaseTest, EvaluatorTinyInstance) {
+  tune::SystemSetup setup;
+  setup.num_entries = 600;
+  setup.total_memory_bits = 16 * 600;
+  setup.train_ops = 100;
+  tune::Evaluator ev(setup);
+  const tune::Measurement m = ev.Measure(
+      model::WorkloadSpec{0.25, 0.25, 0.25, 0.25},
+      tune::MonkeyDefaultConfig(setup), 100, 1);
+  EXPECT_GT(m.mean_latency_ns, 0.0);
+  EXPECT_GT(m.total_cost_ns, 0.0);
+}
+
+TEST(EdgeCaseTest, CamalRecommendUnseenWorkloadUsesModel) {
+  tune::SystemSetup setup;
+  setup.num_entries = 5000;
+  setup.total_memory_bits = 16 * 5000;
+  setup.train_ops = 300;
+  tune::TunerOptions opts;
+  opts.model_kind = tune::ModelKind::kPoly;
+  opts.refine_rounds = 0;
+  tune::CamalTuner tuner(setup, opts);
+  tuner.Train({model::WorkloadSpec{0.25, 0.25, 0.25, 0.25}});
+  // A workload never trained on still yields a budget-feasible config.
+  const tune::TuningConfig c =
+      tuner.Recommend(model::WorkloadSpec{0.7, 0.1, 0.1, 0.1});
+  EXPECT_GE(c.size_ratio, 2.0);
+  EXPECT_NEAR(c.mf_bits + c.mb_bits + c.mc_bits,
+              static_cast<double>(setup.total_memory_bits), 1.0);
+}
+
+TEST(EdgeCaseTest, TuningConfigHugeCacheClampsFilter) {
+  tune::SystemSetup setup;
+  tune::TuningConfig c;
+  c.size_ratio = 4.0;
+  c.mc_bits = 0.9 * setup.total_memory_bits;
+  c.mf_bits = 0.0;
+  c.mb_bits = 0.1 * setup.total_memory_bits;
+  const lsm::Options opts = c.ToOptions(setup);
+  EXPECT_TRUE(opts.Validate().ok());
+  EXPECT_GT(opts.block_cache_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace camal

@@ -1,0 +1,269 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/gbdt.h"
+#include "ml/gp.h"
+#include "ml/linalg.h"
+#include "ml/mlp.h"
+#include "ml/poly.h"
+#include "ml/standardizer.h"
+#include "util/random.h"
+
+namespace camal::ml {
+namespace {
+
+TEST(LinalgTest, CholeskySolveKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2]
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  ASSERT_TRUE(CholeskyFactor(&a));
+  const std::vector<double> x = CholeskySolve(a, {10, 9});
+  EXPECT_NEAR(x[0], 1.5, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(LinalgTest, CholeskyRejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 5;
+  a(1, 0) = 5;
+  a(1, 1) = 1;  // indefinite
+  EXPECT_FALSE(CholeskyFactor(&a));
+}
+
+TEST(LinalgTest, SolveLinearWithPivoting) {
+  // Requires row swap: [[0,1],[1,0]] x = [2,3] -> x = [3,2]
+  Matrix a(2, 2);
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  const std::vector<double> x = SolveLinear(a, {2, 3});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinalgTest, SolveLinearSingularReturnsEmpty) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_TRUE(SolveLinear(a, {1, 2}).empty());
+}
+
+TEST(LinalgTest, RidgeRecoversCoefficients) {
+  util::Random rng(3);
+  Matrix x(200, 3);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = 0; j < 3; ++j) x(i, j) = rng.NextGaussian();
+    y[i] = 2.0 * x(i, 0) - 1.0 * x(i, 1) + 0.5 * x(i, 2);
+  }
+  const std::vector<double> beta = RidgeSolve(x, y, 1e-8);
+  EXPECT_NEAR(beta[0], 2.0, 1e-5);
+  EXPECT_NEAR(beta[1], -1.0, 1e-5);
+  EXPECT_NEAR(beta[2], 0.5, 1e-5);
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  std::vector<std::vector<double>> x = {{1, 100}, {2, 200}, {3, 300}};
+  Standardizer s;
+  s.Fit(x);
+  const auto scaled = s.ApplyAll(x);
+  for (size_t j = 0; j < 2; ++j) {
+    double mean = 0;
+    for (const auto& row : scaled) mean += row[j];
+    EXPECT_NEAR(mean / 3.0, 0.0, 1e-12);
+  }
+  EXPECT_NEAR(scaled[0][0], -scaled[2][0], 1e-12);
+}
+
+TEST(StandardizerTest, ConstantFeatureSafe) {
+  std::vector<std::vector<double>> x = {{5.0}, {5.0}, {5.0}};
+  Standardizer s;
+  s.Fit(x);
+  EXPECT_NEAR(s.Apply({5.0})[0], 0.0, 1e-12);  // no division blowup
+}
+
+TEST(TargetScalerTest, RoundTrip) {
+  TargetScaler s;
+  s.Fit({10, 20, 30});
+  EXPECT_NEAR(s.Unscale(s.Scale(17.0)), 17.0, 1e-12);
+}
+
+TEST(PolyTest, FitsLinearFunctionExactly) {
+  PolyRegression poly(1e-10);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  util::Random rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.NextDouble(), b = rng.NextDouble();
+    x.push_back({a, b});
+    y.push_back(3.0 * a - 2.0 * b + 1.0);
+  }
+  poly.Fit(x, y);
+  EXPECT_TRUE(poly.fitted());
+  EXPECT_NEAR(poly.Predict({0.5, 0.5}), 1.5, 1e-6);
+  EXPECT_NEAR(poly.Predict({0.0, 0.0}), 1.0, 1e-6);
+}
+
+TEST(PolyTest, CustomBasis) {
+  // y = 2 * x^2, basis exposes x^2.
+  PolyRegression poly(
+      1e-10, [](const std::vector<double>& x) {
+        return std::vector<double>{x[0] * x[0]};
+      });
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(2.0 * i * i);
+  }
+  poly.Fit(x, y);
+  EXPECT_NEAR(poly.Predict({30.0}), 1800.0, 1e-4);
+}
+
+TEST(PolyTest, ExtrapolatesBeyondTrainingRange) {
+  PolyRegression poly(1e-10);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(5.0 * i);
+  }
+  poly.Fit(x, y);
+  EXPECT_NEAR(poly.Predict({100.0}), 500.0, 1e-5);
+}
+
+TEST(GbdtTest, FitsNonlinearFunction) {
+  Gbdt gbdt;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  util::Random rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.NextDouble() * 10.0;
+    const double b = rng.NextDouble() * 10.0;
+    x.push_back({a, b});
+    y.push_back(std::sin(a) * 3.0 + (b > 5.0 ? 10.0 : 0.0));
+  }
+  gbdt.Fit(x, y);
+  double sse = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = gbdt.Predict(x[i]) - y[i];
+    sse += d * d;
+  }
+  EXPECT_LT(std::sqrt(sse / static_cast<double>(x.size())), 0.8);
+}
+
+TEST(GbdtTest, StepFunctionSplit) {
+  Gbdt gbdt;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 50 ? 1.0 : 9.0);
+  }
+  gbdt.Fit(x, y);
+  EXPECT_NEAR(gbdt.Predict({10.0}), 1.0, 0.2);
+  EXPECT_NEAR(gbdt.Predict({90.0}), 9.0, 0.2);
+}
+
+TEST(GbdtTest, ConstantTargetIsConstant) {
+  Gbdt gbdt;
+  std::vector<std::vector<double>> x = {{1}, {2}, {3}, {4}};
+  std::vector<double> y = {5, 5, 5, 5};
+  gbdt.Fit(x, y);
+  EXPECT_NEAR(gbdt.Predict({2.5}), 5.0, 1e-9);
+}
+
+TEST(GbdtTest, DeterministicGivenSeed) {
+  GbdtParams params;
+  params.subsample = 0.8;
+  Gbdt a(params), b(params);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  util::Random rng(9);
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({rng.NextDouble()});
+    y.push_back(x.back()[0] * 4.0);
+  }
+  a.Fit(x, y);
+  b.Fit(x, y);
+  EXPECT_DOUBLE_EQ(a.Predict({0.3}), b.Predict({0.3}));
+}
+
+TEST(MlpTest, FitsSmoothFunctionApproximately) {
+  MlpParams params;
+  params.epochs = 300;
+  Mlp mlp(params);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  util::Random rng(11);
+  for (int i = 0; i < 256; ++i) {
+    const double a = rng.NextDouble() * 2.0 - 1.0;
+    x.push_back({a});
+    y.push_back(a * a);
+  }
+  mlp.Fit(x, y);
+  double err = 0.0;
+  for (double probe : {-0.8, -0.4, 0.0, 0.4, 0.8}) {
+    err += std::fabs(mlp.Predict({probe}) - probe * probe);
+  }
+  EXPECT_LT(err / 5.0, 0.1);
+}
+
+TEST(MlpTest, UnderfitsWithFewSamples) {
+  // The data-hungriness that makes NN the weakest CAMAL model: with only a
+  // handful of samples its generalization error is large.
+  MlpParams params;
+  params.epochs = 200;
+  Mlp mlp(params);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 4; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i % 2 == 0 ? 0.0 : 1.0);
+  }
+  mlp.Fit(x, y);  // must not crash on tiny data
+  EXPECT_TRUE(mlp.fitted());
+}
+
+TEST(GpTest, InterpolatesTrainingPoints) {
+  GaussianProcess gp;
+  std::vector<std::vector<double>> x = {{0}, {1}, {2}, {3}};
+  std::vector<double> y = {0, 1, 4, 9};
+  gp.Fit(x, y);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const auto [mean, var] = gp.PredictMeanVar(x[i]);
+    EXPECT_NEAR(mean, y[i], 0.35);
+    EXPECT_LT(var, 0.5);
+  }
+}
+
+TEST(GpTest, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp;
+  gp.Fit({{0}, {1}, {2}}, {1, 2, 3});
+  const auto [near_mean, near_var] = gp.PredictMeanVar({1.0});
+  const auto [far_mean, far_var] = gp.PredictMeanVar({50.0});
+  (void)near_mean;
+  (void)far_mean;
+  EXPECT_GT(far_var, near_var * 5.0);
+}
+
+TEST(GpTest, ExpectedImprovementBehaviour) {
+  // A point predicted far below best has high EI; far above, near zero.
+  EXPECT_GT(ExpectedImprovement(0.0, 0.01, 1.0),
+            ExpectedImprovement(2.0, 0.01, 1.0));
+  // More variance -> more EI when the mean equals the best.
+  EXPECT_GT(ExpectedImprovement(1.0, 1.0, 1.0),
+            ExpectedImprovement(1.0, 0.0001, 1.0));
+  EXPECT_GE(ExpectedImprovement(5.0, 0.001, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace camal::ml

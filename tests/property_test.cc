@@ -1,0 +1,269 @@
+// Cross-module property tests: invariants that must hold over swept
+// parameter ranges rather than at single points.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "camal/camal_tuner.h"
+#include "camal/extrapolation.h"
+#include "lsm/compaction.h"
+#include "lsm/lsm_tree.h"
+#include "model/cost_model.h"
+#include "model/optimum.h"
+#include "util/random.h"
+
+namespace camal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Closed-form model monotonicity properties.
+
+class CostMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CostMonotonicityTest, ZeroResultCostDecreasesInFilterMemory) {
+  model::SystemParams p;
+  model::CostModel cm(p);
+  const double t = GetParam();
+  double prev = 1e300;
+  for (double bpk = 0.0; bpk <= 14.0; bpk += 2.0) {
+    model::ModelConfig c;
+    c.size_ratio = t;
+    c.mf_bits = bpk * p.num_entries;
+    c.mb_bits = p.total_memory_bits - c.mf_bits;
+    const double cost = cm.ZeroResultLookupCost(c);
+    EXPECT_LT(cost, prev + 1e-12);
+    prev = cost;
+  }
+}
+
+TEST_P(CostMonotonicityTest, RangeCostDecreasesInT) {
+  model::SystemParams p;
+  model::CostModel cm(p);
+  model::ModelConfig c;
+  c.mf_bits = 10.0 * p.num_entries;
+  c.mb_bits = p.total_memory_bits - c.mf_bits;
+  c.size_ratio = GetParam();
+  const double cost_here = cm.RangeLookupCost(c);
+  c.size_ratio = GetParam() * 2.0;
+  EXPECT_LE(cm.RangeLookupCost(c), cost_here + 1e-12);
+}
+
+TEST_P(CostMonotonicityTest, LevelingWriteCostIncreasesInTBeyondE) {
+  model::SystemParams p;
+  model::CostModel cm(p);
+  const double t = std::max(3.0, GetParam());
+  model::ModelConfig c;
+  c.mf_bits = 0.0;
+  c.mb_bits = 0.3 * p.total_memory_bits;
+  c.size_ratio = t;
+  const double cost_here = cm.WriteCost(c);
+  c.size_ratio = t * 2.0;
+  EXPECT_GE(cm.WriteCost(c), cost_here - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, CostMonotonicityTest,
+                         ::testing::Values(2.0, 4.0, 8.0, 16.0, 32.0));
+
+// ---------------------------------------------------------------------------
+// Optimum solver properties across the full workload simplex.
+
+class OptimumSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimumSweepTest, AnalyticTStarAgreesWithNumericArgmin) {
+  util::Random rng(static_cast<uint64_t>(GetParam()) * 91 + 3);
+  model::SystemParams p;
+  model::CostModel cm(p);
+  // Random normalized workload.
+  double raw[4];
+  double total = 0.0;
+  for (double& x : raw) {
+    x = 0.01 + rng.NextDouble();
+    total += x;
+  }
+  model::WorkloadSpec w{raw[0] / total, raw[1] / total, raw[2] / total,
+                        raw[3] / total};
+  const double analytic = model::OptimalSizeRatioLeveling(w, cm);
+
+  model::ModelConfig base;
+  base.mf_bits = 10.0 * p.num_entries;
+  base.mb_bits = p.total_memory_bits - base.mf_bits;
+  const double numeric = model::OptimalSizeRatioNumeric(w, cm, base);
+  // Both minimize the same (flat-near-optimum) objective: compare costs.
+  model::ModelConfig ca = base, cn = base;
+  ca.size_ratio = analytic;
+  cn.size_ratio = numeric;
+  EXPECT_LE(cm.OpCost(w, ca), cm.OpCost(w, cn) * 1.10 + 1e-9);
+}
+
+TEST_P(OptimumSweepTest, MinimizeCostNeverWorseThanMonkeyDefault) {
+  util::Random rng(static_cast<uint64_t>(GetParam()) * 77 + 5);
+  model::SystemParams p;
+  model::CostModel cm(p);
+  double raw[4];
+  double total = 0.0;
+  for (double& x : raw) {
+    x = 0.01 + rng.NextDouble();
+    total += x;
+  }
+  model::WorkloadSpec w{raw[0] / total, raw[1] / total, raw[2] / total,
+                        raw[3] / total};
+  const model::TheoreticalOptimum opt =
+      model::MinimizeCost(w, cm, lsm::CompactionPolicy::kLeveling);
+  model::ModelConfig monkey;
+  monkey.size_ratio = 10.0;
+  monkey.mf_bits = 10.0 * p.num_entries;
+  monkey.mb_bits = p.total_memory_bits - monkey.mf_bits;
+  EXPECT_LE(opt.cost, cm.OpCost(w, monkey) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimumSweepTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Merge properties on random inputs vs a reference merge.
+
+class MergePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergePropertyTest, MatchesReferenceSemantics) {
+  util::Random rng(static_cast<uint64_t>(GetParam()) * 13 + 1);
+  // Build 3 runs of random sorted entries; newer runs shadow older.
+  std::vector<lsm::RunPtr> newest_first;
+  std::map<uint64_t, lsm::Entry> reference;  // built oldest-to-newest
+  std::vector<std::vector<lsm::Entry>> raw_runs;
+  for (int r = 0; r < 3; ++r) {
+    std::map<uint64_t, lsm::Entry> run_entries;
+    const size_t count = 5 + rng.Uniform(40);
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t key = rng.Uniform(60);
+      const bool tomb = rng.Bernoulli(0.25);
+      run_entries[key] =
+          lsm::Entry{key, rng.Next() % 1000, tomb};
+    }
+    std::vector<lsm::Entry> sorted;
+    for (const auto& [k, e] : run_entries) sorted.push_back(e);
+    raw_runs.push_back(sorted);
+  }
+  // raw_runs[0] is oldest; apply in order for the reference.
+  for (const auto& run : raw_runs) {
+    for (const lsm::Entry& e : run) reference[e.key] = e;
+  }
+  for (auto it = raw_runs.rbegin(); it != raw_runs.rend(); ++it) {
+    newest_first.push_back(
+        std::make_shared<const lsm::Run>(newest_first.size() + 1, *it, 8,
+                                         0.0, 128, 0));
+  }
+
+  const std::vector<lsm::Entry> merged =
+      lsm::MergeRuns(newest_first, /*drop_tombstones=*/false);
+  ASSERT_EQ(merged.size(), reference.size());
+  size_t idx = 0;
+  for (const auto& [key, expected] : reference) {
+    EXPECT_EQ(merged[idx].key, key);
+    EXPECT_EQ(merged[idx].value, expected.value);
+    EXPECT_EQ(merged[idx].tombstone, expected.tombstone);
+    ++idx;
+  }
+
+  // With tombstone dropping, the output is exactly the live subset.
+  const std::vector<lsm::Entry> dropped = lsm::MergeRuns(newest_first, true);
+  size_t live = 0;
+  for (const auto& [key, e] : reference) live += !e.tombstone;
+  EXPECT_EQ(dropped.size(), live);
+  for (const lsm::Entry& e : dropped) EXPECT_FALSE(e.tombstone);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergePropertyTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Extrapolation identities.
+
+TEST(ExtrapolationPropertyTest, RoundTripIsIdentity) {
+  tune::TuningConfig c;
+  c.size_ratio = 9.0;
+  c.mf_bits = 12345.0;
+  c.mb_bits = 54321.0;
+  c.mc_bits = 777.0;
+  const tune::TuningConfig back =
+      tune::ExtrapolateConfig(tune::ExtrapolateConfig(c, 8.0), 1.0 / 8.0);
+  EXPECT_NEAR(back.mf_bits, c.mf_bits, 1e-9);
+  EXPECT_NEAR(back.mb_bits, c.mb_bits, 1e-9);
+  EXPECT_NEAR(back.mc_bits, c.mc_bits, 1e-9);
+}
+
+TEST(ExtrapolationPropertyTest, ComposesMultiplicatively) {
+  tune::TuningConfig c;
+  c.mf_bits = 100.0;
+  c.mb_bits = 200.0;
+  const tune::TuningConfig ab = tune::ExtrapolateConfig(
+      tune::ExtrapolateConfig(c, 2.0), 3.0);
+  const tune::TuningConfig direct = tune::ExtrapolateConfig(c, 6.0);
+  EXPECT_NEAR(ab.mf_bits, direct.mf_bits, 1e-9);
+  EXPECT_NEAR(ab.mb_bits, direct.mb_bits, 1e-9);
+}
+
+TEST(ExtrapolationPropertyTest, RecommendForScalesWithTarget) {
+  tune::SystemSetup setup;
+  setup.num_entries = 6000;
+  setup.total_memory_bits = 16 * 6000;
+  setup.train_ops = 300;
+  tune::TunerOptions opts;
+  opts.model_kind = tune::ModelKind::kPoly;
+  opts.refine_rounds = 0;
+  tune::CamalTuner tuner(setup, opts);
+  model::WorkloadSpec w{0.25, 0.25, 0.25, 0.25};
+  tuner.Train({w});
+  const model::SystemParams base = setup.ToModelParams();
+  const tune::TuningConfig at_1x = tuner.RecommendFor(w, base);
+  const tune::TuningConfig at_3x =
+      tuner.RecommendFor(w, tune::ScaleParams(base, 3.0));
+  EXPECT_DOUBLE_EQ(at_3x.size_ratio, at_1x.size_ratio);
+  EXPECT_NEAR(at_3x.mf_bits, 3.0 * at_1x.mf_bits, 1.0);
+  EXPECT_NEAR(at_3x.mb_bits, 3.0 * at_1x.mb_bits, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine conservation properties over random operation streams.
+
+class ConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConservationTest, LiveKeyCountMatchesReference) {
+  sim::DeviceConfig dc;
+  dc.io_jitter_frac = 0.0;
+  sim::Device dev(dc);
+  lsm::Options opts;
+  opts.entry_bytes = 128;
+  opts.buffer_bytes = 128 * 24;
+  opts.size_ratio = 3.0;
+  opts.policy = GetParam() % 2 == 0 ? lsm::CompactionPolicy::kLeveling
+                                    : lsm::CompactionPolicy::kTiering;
+  lsm::LsmTree tree(opts, &dev);
+  std::map<uint64_t, uint64_t> reference;
+  util::Random rng(static_cast<uint64_t>(GetParam()) * 331 + 17);
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t key = rng.Uniform(1500);
+    if (rng.Bernoulli(0.7)) {
+      tree.Put(key, static_cast<uint64_t>(i));
+      reference[key] = static_cast<uint64_t>(i);
+    } else {
+      tree.Delete(key);
+      reference.erase(key);
+    }
+  }
+  // A full scan must return exactly the live reference contents.
+  std::vector<lsm::Entry> out;
+  tree.Scan(0, reference.size() + 100, &out);
+  ASSERT_EQ(out.size(), reference.size());
+  auto it = reference.begin();
+  for (const lsm::Entry& e : out) {
+    EXPECT_EQ(e.key, it->first);
+    EXPECT_EQ(e.value, it->second);
+    ++it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace camal

@@ -1,0 +1,199 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lsm/block_cache.h"
+#include "lsm/compaction.h"
+#include "lsm/memtable.h"
+#include "lsm/run.h"
+#include "sim/device.h"
+
+namespace camal::lsm {
+namespace {
+
+sim::DeviceConfig QuietDevice() {
+  sim::DeviceConfig cfg;
+  cfg.io_jitter_frac = 0.0;
+  return cfg;
+}
+
+std::vector<Entry> MakeEntries(int n, uint64_t stride = 2) {
+  std::vector<Entry> entries;
+  for (int i = 1; i <= n; ++i) {
+    entries.push_back(Entry{stride * static_cast<uint64_t>(i),
+                            static_cast<uint64_t>(i), false});
+  }
+  return entries;
+}
+
+TEST(MemtableTest, PutGetOverwrite) {
+  sim::Device dev(QuietDevice());
+  Memtable mem;
+  mem.Put(5, 100, false, &dev);
+  mem.Put(5, 200, false, &dev);
+  Entry e;
+  ASSERT_TRUE(mem.Get(5, &e, &dev));
+  EXPECT_EQ(e.value, 200u);
+  EXPECT_EQ(mem.size(), 1u);
+}
+
+TEST(MemtableTest, TombstoneVisible) {
+  sim::Device dev(QuietDevice());
+  Memtable mem;
+  mem.Put(5, 100, false, &dev);
+  mem.Put(5, 0, true, &dev);
+  Entry e;
+  ASSERT_TRUE(mem.Get(5, &e, &dev));
+  EXPECT_TRUE(e.tombstone);
+}
+
+TEST(MemtableTest, DrainSortedOrderAndClear) {
+  sim::Device dev(QuietDevice());
+  Memtable mem;
+  mem.Put(30, 3, false, &dev);
+  mem.Put(10, 1, false, &dev);
+  mem.Put(20, 2, false, &dev);
+  const std::vector<Entry> drained = mem.DrainSorted();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].key, 10u);
+  EXPECT_EQ(drained[1].key, 20u);
+  EXPECT_EQ(drained[2].key, 30u);
+  EXPECT_TRUE(mem.empty());
+}
+
+TEST(MemtableTest, CollectFromRespectsStartAndLimit) {
+  sim::Device dev(QuietDevice());
+  Memtable mem;
+  for (uint64_t k = 1; k <= 10; ++k) mem.Put(k * 10, k, false, &dev);
+  std::vector<Entry> out;
+  mem.CollectFrom(35, 3, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].key, 40u);
+  EXPECT_EQ(out[2].key, 60u);
+}
+
+TEST(MemtableTest, ChargesCpu) {
+  sim::Device dev(QuietDevice());
+  Memtable mem;
+  mem.Put(1, 1, false, &dev);
+  EXPECT_GT(dev.elapsed_ns(), 0.0);
+}
+
+TEST(RunTest, GetFindsExistingKey) {
+  sim::Device dev(QuietDevice());
+  BlockCache cache(0);
+  ::camal::lsm::Run run(1, MakeEntries(100), 8, 10.0, 128, 0);
+  Entry e;
+  EXPECT_EQ(run.Get(100, &e, &dev, &cache), Run::LookupOutcome::kFound);
+  EXPECT_EQ(e.value, 50u);
+  EXPECT_EQ(dev.block_reads(), 1u);
+}
+
+TEST(RunTest, FilterBlocksMissesWithoutIo) {
+  sim::Device dev(QuietDevice());
+  BlockCache cache(0);
+  ::camal::lsm::Run run(1, MakeEntries(2000), 8, 14.0, 128, 0);
+  int ios = 0;
+  for (uint64_t k = 3; k < 203; k += 2) {  // odd keys: absent, in range
+    Entry e;
+    const auto outcome = run.Get(k, &e, &dev, &cache);
+    EXPECT_NE(outcome, Run::LookupOutcome::kFound);
+    if (outcome == Run::LookupOutcome::kNotFoundAfterIo) ++ios;
+  }
+  // At 14 bpk virtually everything is filtered without I/O.
+  EXPECT_LE(ios, 3);
+  EXPECT_EQ(dev.block_reads(), static_cast<uint64_t>(ios));
+}
+
+TEST(RunTest, OutOfRangeKeysSkipWithoutProbeIo) {
+  sim::Device dev(QuietDevice());
+  BlockCache cache(0);
+  ::camal::lsm::Run run(1, MakeEntries(100), 8, 10.0, 128, 0);
+  Entry e;
+  EXPECT_EQ(run.Get(1, &e, &dev, &cache), Run::LookupOutcome::kFilteredOut);
+  EXPECT_EQ(run.Get(99999, &e, &dev, &cache),
+            Run::LookupOutcome::kFilteredOut);
+  EXPECT_EQ(dev.block_reads(), 0u);
+}
+
+TEST(RunTest, CacheAvoidsSecondRead) {
+  sim::Device dev(QuietDevice());
+  BlockCache cache(16);
+  ::camal::lsm::Run run(1, MakeEntries(100), 8, 10.0, 128, 0);
+  Entry e;
+  run.Get(100, &e, &dev, &cache);
+  EXPECT_EQ(dev.block_reads(), 1u);
+  run.Get(100, &e, &dev, &cache);
+  EXPECT_EQ(dev.block_reads(), 1u);  // second access served by cache
+}
+
+TEST(RunTest, FirstGeqBoundaries) {
+  sim::Device dev(QuietDevice());
+  ::camal::lsm::Run run(1, MakeEntries(10), 4, 10.0, 128, 0);  // keys 2..20 even
+  EXPECT_EQ(run.FirstGeq(1, &dev), 0u);
+  EXPECT_EQ(run.FirstGeq(2, &dev), 0u);
+  EXPECT_EQ(run.FirstGeq(3, &dev), 1u);
+  EXPECT_EQ(run.FirstGeq(20, &dev), 9u);
+  EXPECT_EQ(run.FirstGeq(21, &dev), 10u);
+}
+
+TEST(RunTest, BlockAndFileCounts) {
+  sim::Device dev(QuietDevice());
+  ::camal::lsm::Run run(7, MakeEntries(100), 8, 10.0, 128, /*file_bytes=*/128 * 25);
+  EXPECT_EQ(run.num_blocks(), 13u);  // ceil(100/8)
+  EXPECT_EQ(run.num_files(), 4u);    // ceil(100/25)
+  EXPECT_EQ(run.id(), 7u);
+  EXPECT_EQ(run.min_key(), 2u);
+  EXPECT_EQ(run.max_key(), 200u);
+}
+
+TEST(CompactionTest, MergeShadowingNewestWins) {
+  auto old_run = std::make_shared<const ::camal::lsm::Run>(
+      1, std::vector<Entry>{{10, 1, false}, {20, 1, false}}, 8, 0.0, 128, 0);
+  auto new_run = std::make_shared<const ::camal::lsm::Run>(
+      2, std::vector<Entry>{{10, 2, false}, {30, 2, false}}, 8, 0.0, 128, 0);
+  const std::vector<Entry> merged =
+      MergeRuns(std::vector<RunPtr>{new_run, old_run}, /*drop_tombstones=*/false);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].key, 10u);
+  EXPECT_EQ(merged[0].value, 2u);  // newest version wins
+  EXPECT_EQ(merged[1].key, 20u);
+  EXPECT_EQ(merged[2].key, 30u);
+}
+
+TEST(CompactionTest, TombstonesCarriedWhenNotBottommost) {
+  auto old_run = std::make_shared<const ::camal::lsm::Run>(
+      1, std::vector<Entry>{{10, 1, false}}, 8, 0.0, 128, 0);
+  auto new_run = std::make_shared<const ::camal::lsm::Run>(
+      2, std::vector<Entry>{{10, 0, true}}, 8, 0.0, 128, 0);
+  const std::vector<Entry> merged = MergeRuns(std::vector<RunPtr>{new_run, old_run}, false);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_TRUE(merged[0].tombstone);
+}
+
+TEST(CompactionTest, TombstonesDroppedAtBottom) {
+  auto old_run = std::make_shared<const ::camal::lsm::Run>(
+      1, std::vector<Entry>{{10, 1, false}, {20, 1, false}}, 8, 0.0, 128, 0);
+  auto new_run = std::make_shared<const ::camal::lsm::Run>(
+      2, std::vector<Entry>{{10, 0, true}}, 8, 0.0, 128, 0);
+  const std::vector<Entry> merged = MergeRuns(std::vector<RunPtr>{new_run, old_run}, true);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].key, 20u);
+}
+
+TEST(CompactionTest, ThreeWayMergeKeepsSortedOrder) {
+  auto r1 = std::make_shared<const ::camal::lsm::Run>(
+      1, std::vector<Entry>{{5, 1, false}, {50, 1, false}}, 8, 0.0, 128, 0);
+  auto r2 = std::make_shared<const ::camal::lsm::Run>(
+      2, std::vector<Entry>{{10, 2, false}, {40, 2, false}}, 8, 0.0, 128, 0);
+  auto r3 = std::make_shared<const ::camal::lsm::Run>(
+      3, std::vector<Entry>{{20, 3, false}, {30, 3, false}}, 8, 0.0, 128, 0);
+  const std::vector<Entry> merged = MergeRuns(std::vector<RunPtr>{r3, r2, r1}, false);
+  ASSERT_EQ(merged.size(), 6u);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LT(merged[i - 1].key, merged[i].key);
+  }
+}
+
+}  // namespace
+}  // namespace camal::lsm

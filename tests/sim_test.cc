@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+
+namespace camal::sim {
+namespace {
+
+DeviceConfig NoJitter() {
+  DeviceConfig cfg;
+  cfg.io_jitter_frac = 0.0;
+  return cfg;
+}
+
+TEST(DeviceTest, ReadChargesLatencyAndCounts) {
+  Device dev(NoJitter());
+  dev.ReadBlock();
+  EXPECT_EQ(dev.block_reads(), 1u);
+  EXPECT_EQ(dev.block_writes(), 0u);
+  EXPECT_DOUBLE_EQ(dev.elapsed_ns(), 90.0 * 1000.0);
+}
+
+TEST(DeviceTest, SequentialReadCheaperThanRandom) {
+  Device dev(NoJitter());
+  dev.ReadBlock();
+  const double random_ns = dev.elapsed_ns();
+  dev.Reset();
+  dev.ReadBlockSequential();
+  EXPECT_LT(dev.elapsed_ns(), random_ns);
+  EXPECT_EQ(dev.block_reads(), 1u);
+}
+
+TEST(DeviceTest, WriteChargesLatency) {
+  Device dev(NoJitter());
+  dev.WriteBlock();
+  EXPECT_EQ(dev.block_writes(), 1u);
+  EXPECT_DOUBLE_EQ(dev.elapsed_ns(), 25.0 * 1000.0);
+}
+
+TEST(DeviceTest, CpuCharge) {
+  Device dev(NoJitter());
+  dev.ChargeCpu(123.0);
+  dev.ChargeCpu(7.0);
+  EXPECT_DOUBLE_EQ(dev.elapsed_ns(), 130.0);
+  EXPECT_EQ(dev.block_reads() + dev.block_writes(), 0u);
+}
+
+TEST(DeviceTest, SnapshotDelta) {
+  Device dev(NoJitter());
+  dev.ReadBlock();
+  const DeviceSnapshot before = dev.Snapshot();
+  dev.ReadBlock();
+  dev.WriteBlock();
+  dev.ChargeCpu(100.0);
+  const DeviceSnapshot delta = dev.Snapshot().Delta(before);
+  EXPECT_EQ(delta.block_reads, 1u);
+  EXPECT_EQ(delta.block_writes, 1u);
+  EXPECT_EQ(delta.TotalIos(), 2u);
+  EXPECT_DOUBLE_EQ(delta.elapsed_ns, 90000.0 + 25000.0 + 100.0);
+}
+
+TEST(DeviceTest, ResetZeroesEverything) {
+  Device dev(NoJitter());
+  dev.ReadBlock();
+  dev.WriteBlock();
+  dev.Reset();
+  EXPECT_EQ(dev.block_reads(), 0u);
+  EXPECT_EQ(dev.block_writes(), 0u);
+  EXPECT_DOUBLE_EQ(dev.elapsed_ns(), 0.0);
+}
+
+TEST(DeviceTest, JitterIsDeterministicPerSeed) {
+  DeviceConfig cfg;
+  cfg.io_jitter_frac = 0.1;
+  cfg.jitter_seed = 99;
+  Device a(cfg), b(cfg);
+  for (int i = 0; i < 10; ++i) {
+    a.ReadBlock();
+    b.ReadBlock();
+  }
+  EXPECT_DOUBLE_EQ(a.elapsed_ns(), b.elapsed_ns());
+}
+
+TEST(DeviceTest, JitterVariesLatency) {
+  DeviceConfig cfg;
+  cfg.io_jitter_frac = 0.2;
+  Device dev(cfg);
+  dev.ReadBlock();
+  const double first = dev.elapsed_ns();
+  dev.Reset();
+  dev.ReadBlock();
+  // Two consecutive draws from the jitter stream almost surely differ.
+  EXPECT_NE(first, dev.elapsed_ns());
+}
+
+TEST(DeviceTest, JitterNeverNegative) {
+  DeviceConfig cfg;
+  cfg.io_jitter_frac = 5.0;  // absurd jitter still clamps at 10% of base
+  Device dev(cfg);
+  for (int i = 0; i < 100; ++i) {
+    const double before = dev.elapsed_ns();
+    dev.ReadBlock();
+    EXPECT_GT(dev.elapsed_ns(), before);
+  }
+}
+
+}  // namespace
+}  // namespace camal::sim

@@ -1,0 +1,419 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "camal/bayes_tuner.h"
+#include "camal/camal_tuner.h"
+#include "camal/classic_tuner.h"
+#include "camal/evaluator.h"
+#include "camal/extrapolation.h"
+#include "camal/grid_tuner.h"
+#include "camal/group_sampling.h"
+#include "camal/plain_al_tuner.h"
+#include "camal/sample.h"
+#include "camal/uncertainty.h"
+
+namespace camal::tune {
+namespace {
+
+// A deliberately tiny setup so tuner tests stay fast.
+SystemSetup TinySetup() {
+  SystemSetup setup;
+  setup.num_entries = 6000;
+  setup.total_memory_bits = 16 * 6000;
+  setup.train_ops = 400;
+  setup.eval_ops = 800;
+  return setup;
+}
+
+model::WorkloadSpec Mixed() { return model::WorkloadSpec{0.25, 0.25, 0.25, 0.25}; }
+
+TEST(SystemSetupTest, ModelParamsDerivation) {
+  SystemSetup setup;
+  const model::SystemParams p = setup.ToModelParams();
+  EXPECT_DOUBLE_EQ(p.num_entries, 40000.0);
+  EXPECT_DOUBLE_EQ(p.entry_bits, 1024.0);
+  EXPECT_DOUBLE_EQ(p.block_entries, 32.0);
+  EXPECT_DOUBLE_EQ(p.total_memory_bits, 640000.0);
+}
+
+TEST(SystemSetupTest, ScaledDownDividesNandM) {
+  SystemSetup setup;
+  const SystemSetup small = ScaledDown(setup, 10.0);
+  EXPECT_EQ(small.num_entries, 4000u);
+  EXPECT_EQ(small.total_memory_bits, 64000u);
+  EXPECT_EQ(small.entry_bytes, setup.entry_bytes);
+}
+
+TEST(TuningConfigTest, ToOptionsMapsBitsToBytes) {
+  SystemSetup setup;
+  TuningConfig c;
+  c.size_ratio = 6.0;
+  c.mf_bits = 80000;
+  c.mb_bits = 160000;
+  c.mc_bits = 400000;
+  const lsm::Options opts = c.ToOptions(setup);
+  EXPECT_DOUBLE_EQ(opts.size_ratio, 6.0);
+  EXPECT_EQ(opts.buffer_bytes, 20000u);
+  EXPECT_EQ(opts.bloom_bits, 80000u);
+  EXPECT_EQ(opts.block_cache_bytes, 50000u);
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(TuningConfigTest, MonkeyDefaultSumsToBudget) {
+  SystemSetup setup;
+  const TuningConfig c = MonkeyDefaultConfig(setup);
+  EXPECT_NEAR(c.mf_bits + c.mb_bits + c.mc_bits,
+              static_cast<double>(setup.total_memory_bits), 1.0);
+  EXPECT_NEAR(c.mf_bits, 10.0 * setup.num_entries, 1.0);
+}
+
+TEST(FeatureTest, ScaleInvarianceLemma51) {
+  // Features of (T, Mf, Mb) at (N, M) equal features of (T, kMf, kMb) at
+  // (kN, kM) — the formal backbone of extrapolation.
+  SystemSetup setup;
+  const model::SystemParams sys = setup.ToModelParams();
+  const model::SystemParams big = ScaleParams(sys, 10.0);
+  TuningConfig c;
+  c.size_ratio = 8.0;
+  c.mf_bits = 9.0 * sys.num_entries;
+  c.mb_bits = sys.total_memory_bits - c.mf_bits;
+  const TuningConfig scaled = ExtrapolateConfig(c, 10.0);
+  const auto f1 = RawFeatures(Mixed(), c, sys);
+  const auto f2 = RawFeatures(Mixed(), scaled, big);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (size_t i = 0; i < f1.size(); ++i) {
+    if (i == 12) continue;  // log10(N) intentionally differs
+    EXPECT_NEAR(f1[i], f2[i], 1e-9) << "feature " << i;
+  }
+}
+
+TEST(FeatureTest, CostBasisDimensionsStable) {
+  SystemSetup setup;
+  const auto raw = RawFeatures(Mixed(), MonkeyDefaultConfig(setup),
+                               setup.ToModelParams());
+  const auto basis = CostBasisFromRaw(raw);
+  EXPECT_EQ(basis.size(), 13u);
+  for (double b : basis) EXPECT_TRUE(std::isfinite(b));
+}
+
+TEST(ExtrapolationTest, ConfigScaling) {
+  TuningConfig c;
+  c.size_ratio = 7.0;
+  c.mf_bits = 100;
+  c.mb_bits = 200;
+  c.mc_bits = 50;
+  const TuningConfig big = ExtrapolateConfig(c, 4.0);
+  EXPECT_DOUBLE_EQ(big.size_ratio, 7.0);  // T unchanged (Lemma 5.1)
+  EXPECT_DOUBLE_EQ(big.mf_bits, 400.0);
+  EXPECT_DOUBLE_EQ(big.mb_bits, 800.0);
+  EXPECT_DOUBLE_EQ(big.mc_bits, 200.0);
+}
+
+TEST(EvaluatorTest, DeterministicForSameSalt) {
+  Evaluator ev(TinySetup());
+  const TuningConfig c = MonkeyDefaultConfig(TinySetup());
+  const Measurement a = ev.Measure(Mixed(), c, 300, 5);
+  const Measurement b = ev.Measure(Mixed(), c, 300, 5);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ns, b.mean_latency_ns);
+  EXPECT_DOUBLE_EQ(a.ios_per_op, b.ios_per_op);
+}
+
+TEST(EvaluatorTest, DifferentSaltDifferentNoise) {
+  Evaluator ev(TinySetup());
+  const TuningConfig c = MonkeyDefaultConfig(TinySetup());
+  const Measurement a = ev.Measure(Mixed(), c, 300, 5);
+  const Measurement b = ev.Measure(Mixed(), c, 300, 6);
+  EXPECT_NE(a.mean_latency_ns, b.mean_latency_ns);
+  // ... but they are the same system: within a loose band.
+  EXPECT_NEAR(a.mean_latency_ns, b.mean_latency_ns,
+              0.5 * a.mean_latency_ns);
+}
+
+TEST(EvaluatorTest, SampleCarriesCostAndScale) {
+  const SystemSetup setup = TinySetup();
+  Evaluator ev(setup);
+  const Sample s = ev.MakeSample(Mixed(), MonkeyDefaultConfig(setup), 1);
+  EXPECT_GT(s.cost_ns, 0.0);
+  EXPECT_GT(s.mean_latency_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s.sys.num_entries, 6000.0);
+}
+
+TEST(ObjectiveTest, SelectsRequestedMetric) {
+  Sample s;
+  s.mean_latency_ns = 1.0;
+  s.p90_latency_ns = 2.0;
+  s.ios_per_op = 3.0;
+  EXPECT_DOUBLE_EQ(ObjectiveValue(s, Objective::kMeanLatency), 1.0);
+  EXPECT_DOUBLE_EQ(ObjectiveValue(s, Objective::kP90Latency), 2.0);
+  EXPECT_DOUBLE_EQ(ObjectiveValue(s, Objective::kIosPerOp), 3.0);
+}
+
+TEST(ClassicTunerTest, RecommendsClosedFormOptimum) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  ClassicTuner tuner(setup, opts);
+  model::WorkloadSpec write_heavy{0.01, 0.01, 0.01, 0.97};
+  const TuningConfig c = tuner.Recommend(write_heavy);
+  EXPECT_LE(c.size_ratio, 5.0);  // writes want small T under leveling
+  EXPECT_NEAR(c.mf_bits + c.mb_bits,
+              static_cast<double>(setup.total_memory_bits), 1.0);
+  // Nearly no point reads: nearly no bloom memory.
+  EXPECT_LT(c.mf_bits / setup.num_entries, 4.0);
+}
+
+TEST(ClassicTunerTest, PointReadHeavyGetsBloomMemory) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  ClassicTuner tuner(setup, opts);
+  model::WorkloadSpec read_heavy{0.5, 0.47, 0.02, 0.01};
+  const TuningConfig c = tuner.Recommend(read_heavy);
+  EXPECT_GT(c.mf_bits / setup.num_entries, 6.0);
+}
+
+TEST(MonkeyTunerTest, FixedConfiguration) {
+  const SystemSetup setup = TinySetup();
+  MonkeyTuner tuner(setup);
+  const TuningConfig c = tuner.Recommend(Mixed());
+  EXPECT_DOUBLE_EQ(c.size_ratio, 10.0);
+  EXPECT_EQ(c.policy, lsm::CompactionPolicy::kLeveling);
+  const TuningConfig c2 = tuner.Recommend(model::WorkloadSpec{0, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(c.size_ratio, c2.size_ratio);  // workload-independent
+}
+
+TEST(MonkeyTunerTest, CacheVariantAllocatesCache) {
+  const SystemSetup setup = TinySetup();
+  MonkeyTuner tuner(setup, /*use_cache=*/true);
+  const TuningConfig c = tuner.Recommend(Mixed());
+  EXPECT_GT(c.mc_bits, 0.0);
+  EXPECT_NEAR(c.mf_bits + c.mb_bits + c.mc_bits,
+              static_cast<double>(setup.total_memory_bits), 1.0);
+}
+
+TEST(CamalTunerTest, TrainCollectsDecoupledSamples) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  opts.refine_rounds = 0;
+  CamalTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  // Two rounds (T, memory) x 3 samples each, plus at most one
+  // default-anchor sample in the memory round.
+  EXPECT_GE(tuner.samples().size(), 6u);
+  EXPECT_LE(tuner.samples().size(), 7u);
+  EXPECT_GT(tuner.sampling_cost_ns(), 0.0);
+  EXPECT_EQ(tuner.tuned_configs().size(), 1u);
+}
+
+TEST(CamalTunerTest, RecommendationExhaustsMemoryBudget) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  CamalTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  const TuningConfig c = tuner.Recommend(Mixed());
+  EXPECT_NEAR(c.mf_bits + c.mb_bits + c.mc_bits,
+              static_cast<double>(setup.total_memory_bits), 1.0);
+  EXPECT_GE(c.size_ratio, 2.0);
+}
+
+TEST(CamalTunerTest, McRoundAddsSamplesWhenEnabled) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  opts.refine_rounds = 0;
+  CamalTuner base_tuner(setup, opts);
+  base_tuner.Train({Mixed()});
+  opts.tune_mc = true;
+  CamalTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  // The Mc round adds samples_per_round more samples.
+  EXPECT_EQ(tuner.samples().size(), base_tuner.samples().size() + 3);
+}
+
+TEST(CamalTunerTest, CheckpointCallbackFires) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  CamalTuner tuner(setup, opts);
+  int calls = 0;
+  double last_cost = -1.0;
+  tuner.SetCheckpointCallback([&](double cost) {
+    ++calls;
+    EXPECT_GT(cost, last_cost);
+    last_cost = cost;
+  });
+  tuner.Train({Mixed(), model::WorkloadSpec{0.6, 0.2, 0.1, 0.1}});
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(CamalTunerTest, ExtrapolationTrainsAtSmallScale) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  opts.extrapolation_factor = 4.0;
+  CamalTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  EXPECT_EQ(tuner.train_setup().num_entries, setup.num_entries / 4);
+  // Samples were collected at the small scale...
+  EXPECT_DOUBLE_EQ(tuner.samples()[0].sys.num_entries,
+                   static_cast<double>(setup.num_entries / 4));
+  // ...but recommendations are for the full scale.
+  const TuningConfig c = tuner.Recommend(Mixed());
+  EXPECT_NEAR(c.mf_bits + c.mb_bits + c.mc_bits,
+              static_cast<double>(setup.total_memory_bits), 1.0);
+}
+
+TEST(CamalTunerTest, ExtrapolationCutsSamplingCost) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  CamalTuner full(setup, opts);
+  full.Train({Mixed()});
+  opts.extrapolation_factor = 4.0;
+  CamalTuner scaled(setup, opts);
+  scaled.Train({Mixed()});
+  EXPECT_LT(scaled.sampling_cost_ns(), full.sampling_cost_ns() / 2.0);
+}
+
+TEST(CamalTunerTest, KIndependentRoundAddsSamples) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  opts.refine_rounds = 0;
+  CamalTuner base_tuner(setup, opts);
+  base_tuner.Train({Mixed()});
+  opts.k_mode = KTuningMode::kIndependent;
+  CamalTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  EXPECT_EQ(tuner.samples().size(), base_tuner.samples().size() + 3);
+  const TuningConfig c = tuner.Recommend(Mixed());
+  EXPECT_GE(c.runs_per_level, 0);
+}
+
+TEST(CamalTunerTest, KCodependentSamplesJointly) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  opts.refine_rounds = 0;
+  opts.k_mode = KTuningMode::kCodependent;
+  CamalTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  // Joint (T, K) round samples 2x the per-round budget, then the memory
+  // round adds 3-4 more.
+  EXPECT_GE(tuner.samples().size(), 9u);
+  EXPECT_LE(tuner.samples().size(), 10u);
+}
+
+TEST(CamalTunerTest, FileSizeRoundWhenEnabled) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  opts.refine_rounds = 0;
+  CamalTuner base_tuner(setup, opts);
+  base_tuner.Train({Mixed()});
+  opts.tune_file_size = true;
+  CamalTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  EXPECT_EQ(tuner.samples().size(), base_tuner.samples().size() + 3);
+}
+
+TEST(PlainAlTunerTest, RespectsBudget) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  opts.budget_per_workload = 6;
+  PlainAlTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  EXPECT_EQ(tuner.samples().size(), 6u);
+}
+
+TEST(PlainAlTunerTest, AvoidsResamplingSamePoint) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  opts.budget_per_workload = 8;
+  PlainAlTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  const auto& samples = tuner.samples();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    for (size_t j = i + 1; j < samples.size(); ++j) {
+      EXPECT_FALSE(SameConfig(samples[i].config, samples[j].config))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(GridTunerTest, UniformCoverage) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  opts.budget_per_workload = 9;
+  GridTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  EXPECT_EQ(tuner.samples().size(), 9u);
+  // The grid spans the T range rather than clustering.
+  double t_min = 1e9, t_max = 0;
+  for (const Sample& s : tuner.samples()) {
+    t_min = std::min(t_min, s.config.size_ratio);
+    t_max = std::max(t_max, s.config.size_ratio);
+  }
+  EXPECT_LE(t_min, 3.0);
+  EXPECT_GE(t_max, 10.0);
+}
+
+TEST(BayesTunerTest, RunsWithinBudgetAndFitsModel) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  opts.budget_per_workload = 6;
+  BayesOptTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  EXPECT_EQ(tuner.samples().size(), 6u);
+  EXPECT_TRUE(tuner.has_model());
+  const TuningConfig c = tuner.Recommend(Mixed());
+  EXPECT_GE(c.size_ratio, 2.0);
+}
+
+TEST(UncertaintyTest, ZeroRhoEqualsPlainRecommendation) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  CamalTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  util::Random rng(3);
+  const TuningConfig plain = tuner.Recommend(Mixed());
+  const TuningConfig robust =
+      RecommendUnderUncertainty(tuner, Mixed(), 0.0, 10, &rng);
+  EXPECT_DOUBLE_EQ(plain.size_ratio, robust.size_ratio);
+}
+
+TEST(UncertaintyTest, ProducesValidConfigUnderUncertainty) {
+  const SystemSetup setup = TinySetup();
+  TunerOptions opts;
+  opts.model_kind = ModelKind::kPoly;
+  CamalTuner tuner(setup, opts);
+  tuner.Train({Mixed()});
+  util::Random rng(3);
+  const TuningConfig c =
+      RecommendUnderUncertainty(tuner, Mixed(), 1.0, 8, &rng);
+  EXPECT_GE(c.size_ratio, 2.0);
+  EXPECT_GE(c.mb_bits, 0.0);
+}
+
+TEST(GroupSamplingTest, NeighborhoodShapes) {
+  const auto pairs = JointTkNeighborhood(10.0, 2, 6, 40.0);
+  EXPECT_EQ(pairs.size(), 6u);
+  EXPECT_DOUBLE_EQ(pairs[0].first, 10.0);
+  EXPECT_EQ(pairs[0].second, 2);
+  for (const auto& [t, k] : pairs) {
+    EXPECT_GE(t, 2.0);
+    EXPECT_LE(t, 40.0);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 8);
+  }
+}
+
+}  // namespace
+}  // namespace camal::tune
