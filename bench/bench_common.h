@@ -6,7 +6,10 @@
 // absolute numbers differ from the paper's NVMe testbed, but the relative
 // shapes (who wins, by what factor, where crossovers fall) are the point.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -18,9 +21,59 @@
 #include "camal/evaluator.h"
 #include "camal/grid_tuner.h"
 #include "camal/plain_al_tuner.h"
+#include "util/thread_pool.h"
 #include "workload/tables.h"
 
 namespace camal::bench {
+
+/// Parses a `--threads=N` (or `--threads N`) argument, removes it from
+/// argv, and configures the process-wide pool accordingly. N = 0 selects
+/// the hardware concurrency; the default (1) keeps benches serial. Every
+/// result is bit-identical across thread counts — only wall-clock changes
+/// — so benches are free to default TunerOptions::threads to 0 ("follow
+/// the global setting").
+inline int InitBenchThreads(int* argc, char** argv) {
+  // Strict numeric parse: garbage or out-of-range must not silently
+  // become "all cores" (0) or a truncated thread count.
+  const auto parse = [](const char* s, int fallback) {
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 0 || errno == ERANGE ||
+        v > 1024 * 1024) {
+      std::fprintf(stderr,
+                   "[bench] invalid --threads value '%s'; staying serial\n",
+                   s);
+      return fallback;
+    }
+    return static_cast<int>(v);
+  };
+  int threads = 1;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = parse(argv[i] + 10, threads);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 < *argc) {
+        threads = parse(argv[++i], threads);
+      } else {
+        std::fprintf(stderr,
+                     "[bench] --threads needs a value (0 = all cores); "
+                     "staying serial\n");
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;  // keep the argv[argc] == NULL invariant
+  util::SetGlobalThreads(threads);
+  const int resolved = util::GlobalThreads();
+  if (resolved > 1) {
+    std::printf("[bench] running with %d threads\n", resolved);
+  }
+  return resolved;
+}
 
 using RecommendForWorkload =
     std::function<tune::TuningConfig(const model::WorkloadSpec&)>;
@@ -39,19 +92,29 @@ inline SuiteStats EvaluateSuite(
     const tune::Evaluator& evaluator, const RecommendForWorkload& recommend,
     const std::vector<model::WorkloadSpec>& workloads, uint64_t salt = 0,
     int reps = 2) {
-  SuiteStats stats;
+  // The (workload, rep) measurements are independent; fan them across the
+  // global pool. Salts are assigned by index, so the aggregate is
+  // bit-identical to the serial loop regardless of --threads.
+  std::vector<tune::EvalJob> jobs;
+  jobs.reserve(workloads.size() * static_cast<size_t>(reps));
   for (size_t i = 0; i < workloads.size(); ++i) {
     const tune::TuningConfig config = recommend(workloads[i]);
     for (int rep = 0; rep < reps; ++rep) {
-      const tune::Measurement m = evaluator.Evaluate(
+      jobs.push_back(tune::EvalJob{
           workloads[i], config,
-          salt * 1000 + i + static_cast<uint64_t>(rep) * 131);
-      stats.mean_latency_us += m.mean_latency_ns / 1e3;
-      stats.mean_p90_us += m.p90_latency_ns / 1e3;
-      stats.mean_ios += m.ios_per_op;
+          salt * 1000 + i + static_cast<uint64_t>(rep) * 131});
     }
   }
-  const double n = static_cast<double>(workloads.size()) * reps;
+  const std::vector<tune::Measurement> results =
+      evaluator.EvaluateBatch(jobs, util::GlobalPool());
+
+  SuiteStats stats;
+  for (const tune::Measurement& m : results) {
+    stats.mean_latency_us += m.mean_latency_ns / 1e3;
+    stats.mean_p90_us += m.p90_latency_ns / 1e3;
+    stats.mean_ios += m.ios_per_op;
+  }
+  const double n = static_cast<double>(results.size());
   stats.mean_latency_us /= n;
   stats.mean_p90_us /= n;
   stats.mean_ios /= n;

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+#include "camal/evaluator.h"
 #include "lsm/bloom.h"
 #include "lsm/lsm_tree.h"
 #include "lsm/monkey.h"
@@ -11,6 +13,7 @@
 #include "ml/poly.h"
 #include "model/optimum.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "workload/generator.h"
 
 namespace {
@@ -127,6 +130,75 @@ void BM_GbdtFitPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_GbdtFitPredict);
 
+// ------------------------------------------------------------------------
+// Parallel evaluation engine: one CAMAL-style sampling batch (8 candidate
+// configurations on a small setup) through Evaluator::MakeSamples, fanned
+// across the pool configured by --threads. Items/sec at --threads=N vs
+// --threads=1 is the engine's speedup; the results themselves are
+// bit-identical either way.
+
+camal::tune::SystemSetup BatchSetup() {
+  camal::tune::SystemSetup setup;
+  setup.num_entries = 4000;
+  setup.total_memory_bits = 16 * 4000;
+  setup.train_ops = 300;
+  setup.eval_ops = 600;
+  return setup;
+}
+
+void BM_EvaluatorSampleBatch(benchmark::State& state) {
+  const camal::tune::SystemSetup setup = BatchSetup();
+  const camal::tune::Evaluator evaluator(setup);
+  const camal::model::WorkloadSpec w{0.25, 0.25, 0.25, 0.25};
+  std::vector<camal::tune::TuningConfig> configs;
+  for (double t : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0}) {
+    camal::tune::TuningConfig c;
+    c.size_ratio = t;
+    c.mf_bits = 10.0 * static_cast<double>(setup.num_entries);
+    c.mb_bits = static_cast<double>(setup.total_memory_bits) - c.mf_bits;
+    configs.push_back(c);
+  }
+  camal::util::ThreadPool* pool = camal::util::GlobalPool();
+  uint64_t salt = 1;
+  for (auto _ : state) {
+    const auto samples = evaluator.MakeSamples(w, configs, salt, pool);
+    benchmark::DoNotOptimize(samples.data());
+    salt += configs.size();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(configs.size()));
+  state.counters["threads"] =
+      static_cast<double>(camal::util::GlobalThreads());
+}
+BENCHMARK(BM_EvaluatorSampleBatch)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  camal::util::ThreadPool* pool = camal::util::GlobalPool();
+  std::vector<double> out(64);
+  for (auto _ : state) {
+    camal::util::ParallelFor(pool, 0, out.size(), [&](size_t i) {
+      double acc = 0.0;
+      for (int k = 0; k < 2000; ++k) {
+        acc += static_cast<double>((i + 1) * (k + 1) % 97);
+      }
+      out[i] = acc;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_ParallelForOverhead);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: strip --threads=N (0 = all cores) before google-benchmark
+// sees the unknown flag, then size the global pool with it.
+int main(int argc, char** argv) {
+  camal::bench::InitBenchThreads(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

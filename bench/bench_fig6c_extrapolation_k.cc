@@ -53,7 +53,8 @@ void Run() {
 }  // namespace
 }  // namespace camal::bench
 
-int main() {
+int main(int argc, char** argv) {
+  camal::bench::InitBenchThreads(&argc, argv);
   camal::bench::Run();
   return 0;
 }

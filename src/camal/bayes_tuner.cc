@@ -56,11 +56,16 @@ void BayesOptTuner::Train(const std::vector<model::WorkloadSpec>& workloads) {
     std::vector<std::vector<double>> gp_x;
     std::vector<double> gp_y;
 
+    // Random init configurations are drawn serially (they consume rng_)
+    // and evaluated as one parallel batch; the acquisition loop below is
+    // inherently sequential (each query depends on the refit GP).
     for (int i = 0; i < init_samples; ++i) {
-      const TuningConfig c = random_config();
-      const Sample& s = CollectSample(w, c);
-      queried.push_back(c);
-      gp_x.push_back(GpFeatures(c, sys));
+      queried.push_back(random_config());
+    }
+    const size_t batch_begin = CollectSamples(w, queried);
+    for (int i = 0; i < init_samples; ++i) {
+      const Sample& s = samples_[batch_begin + static_cast<size_t>(i)];
+      gp_x.push_back(GpFeatures(queried[static_cast<size_t>(i)], sys));
       gp_y.push_back(ObjectiveValue(s, options_.objective) / 1000.0);
     }
 

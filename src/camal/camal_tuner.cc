@@ -310,12 +310,14 @@ TuningConfig CamalTuner::TrainWorkload(const model::WorkloadSpec& w,
     const int k_star = TheoreticalOptimalK(w, cm, t_star);
     const auto pairs = JointTkNeighborhood(
         t_star, k_star, options_.samples_per_round * 2, t_cap);
+    std::vector<TuningConfig> round;
     for (const auto& [t, k] : pairs) {
       TuningConfig c = cur;
       c.size_ratio = t;
       c.runs_per_level = k;
-      CollectSample(w, c);
+      round.push_back(c);
     }
+    CollectSamples(w, round);
     RefitModel();
     // Joint argmin over (T, K) within the pruned window.
     double best_pred = std::numeric_limits<double>::infinity();
@@ -337,11 +339,13 @@ TuningConfig CamalTuner::TrainWorkload(const model::WorkloadSpec& w,
       }
     }
   } else {
+    std::vector<TuningConfig> round;
     for (double t : SizeRatioNeighborhood(t_star, t_cap)) {
       TuningConfig c = cur;
       c.size_ratio = std::round(t);
-      CollectSample(w, c);
+      round.push_back(c);
     }
+    CollectSamples(w, round);
     RefitModel();
     // Argmin within the pruned window around T* — the complexity analysis
     // bounds how far the intermediate model may pull the parameter.
@@ -380,11 +384,15 @@ TuningConfig CamalTuner::TrainWorkload(const model::WorkloadSpec& w,
   if (std::fabs(mf_star / n - 10.0) > 3.0 && 10.0 <= max_bpk) {
     bpk_samples.push_back(10.0);
   }
-  for (double bpk : bpk_samples) {
-    TuningConfig c = cur;
-    c.mf_bits = std::clamp(bpk * n, 0.0, m - cur.mc_bits - min_buf);
-    c.mb_bits = m - c.mf_bits - c.mc_bits;
-    CollectSample(w, c);
+  {
+    std::vector<TuningConfig> round;
+    for (double bpk : bpk_samples) {
+      TuningConfig c = cur;
+      c.mf_bits = std::clamp(bpk * n, 0.0, m - cur.mc_bits - min_buf);
+      c.mb_bits = m - c.mf_bits - c.mc_bits;
+      round.push_back(c);
+    }
+    CollectSamples(w, round);
   }
   RefitModel();
   {
@@ -411,14 +419,16 @@ TuningConfig CamalTuner::TrainWorkload(const model::WorkloadSpec& w,
   if (options_.tune_mc) {
     // The closed-form model has no cache term; start from a practically
     // reasonable center (15% of the budget).
+    std::vector<TuningConfig> round;
     for (double frac : Neighborhood(0.15, 0.0, 0.4, 0.15)) {
       TuningConfig c = cur;
       const double mc = frac * m;
       c.mc_bits = mc;
       c.mf_bits = std::clamp(cur.mf_bits, 0.0, m - mc - min_buf);
       c.mb_bits = m - c.mf_bits - c.mc_bits;
-      CollectSample(w, c);
+      round.push_back(c);
     }
+    CollectSamples(w, round);
     RefitModel();
     double best_pred = std::numeric_limits<double>::infinity();
     double best_frac = 0.0;
@@ -441,12 +451,14 @@ TuningConfig CamalTuner::TrainWorkload(const model::WorkloadSpec& w,
   // ---------------- Optional round: K tuned independently after T.
   if (options_.k_mode == KTuningMode::kIndependent) {
     const int k_star = TheoreticalOptimalK(w, cm, cur.size_ratio);
+    std::vector<TuningConfig> round;
     for (double k : Neighborhood(k_star, 1.0,
                                  std::min(8.0, cur.size_ratio), 1.0)) {
       TuningConfig c = cur;
       c.runs_per_level = static_cast<int>(std::round(k));
-      CollectSample(w, c);
+      round.push_back(c);
     }
+    CollectSamples(w, round);
     RefitModel();
     double best_pred = std::numeric_limits<double>::infinity();
     int best_k = std::max(1, cur.runs_per_level);
@@ -466,11 +478,13 @@ TuningConfig CamalTuner::TrainWorkload(const model::WorkloadSpec& w,
   if (options_.tune_file_size) {
     const std::vector<uint64_t> candidates = {32 * 1024, 64 * 1024,
                                               128 * 1024};
+    std::vector<TuningConfig> round;
     for (uint64_t fb : candidates) {
       TuningConfig c = cur;
       c.file_bytes = fb;
-      CollectSample(w, c);
+      round.push_back(c);
     }
+    CollectSamples(w, round);
     RefitModel();
     double best_pred = std::numeric_limits<double>::infinity();
     uint64_t best_fb = 0;

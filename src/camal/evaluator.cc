@@ -1,8 +1,9 @@
 #include "camal/evaluator.h"
 
 #include "lsm/lsm_tree.h"
-#include "workload/executor.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
+#include "workload/executor.h"
 #include "workload/generator.h"
 
 namespace camal::tune {
@@ -80,6 +81,27 @@ Measurement Evaluator::Evaluate(const model::WorkloadSpec& workload,
                                 const TuningConfig& config,
                                 uint64_t salt) const {
   return Measure(workload, config, setup_.eval_ops, HashCombine(salt, 777));
+}
+
+std::vector<Sample> Evaluator::MakeSamples(
+    const model::WorkloadSpec& workload,
+    const std::vector<TuningConfig>& configs, uint64_t first_salt,
+    util::ThreadPool* pool) const {
+  std::vector<Sample> out(configs.size());
+  util::ParallelFor(pool, 0, configs.size(), [&](size_t i) {
+    out[i] = MakeSample(workload, configs[i],
+                        first_salt + static_cast<uint64_t>(i));
+  });
+  return out;
+}
+
+std::vector<Measurement> Evaluator::EvaluateBatch(
+    const std::vector<EvalJob>& jobs, util::ThreadPool* pool) const {
+  std::vector<Measurement> out(jobs.size());
+  util::ParallelFor(pool, 0, jobs.size(), [&](size_t i) {
+    out[i] = Evaluate(jobs[i].workload, jobs[i].config, jobs[i].salt);
+  });
+  return out;
 }
 
 }  // namespace camal::tune

@@ -2,9 +2,14 @@
 #define CAMAL_CAMAL_EVALUATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "camal/sample.h"
 #include "model/workload_spec.h"
+
+namespace camal::util {
+class ThreadPool;
+}  // namespace camal::util
 
 namespace camal::tune {
 
@@ -21,9 +26,22 @@ struct Measurement {
   double total_cost_ns = 0.0;
 };
 
+/// One (workload, config, salt) measurement request for batched
+/// evaluation.
+struct EvalJob {
+  model::WorkloadSpec workload;
+  TuningConfig config;
+  uint64_t salt = 0;
+};
+
 /// Runs (workload, config) pairs on fresh LSM-tree instances and measures
 /// simulated latency/IO — the "execute database instance" step of
 /// Algorithm 2.
+///
+/// Every measurement builds its own tree/device/generator from
+/// deterministic seeds, so distinct measurements are independent and the
+/// batch entry points below may fan them across a ThreadPool without
+/// changing any result.
 class Evaluator {
  public:
   explicit Evaluator(const SystemSetup& setup) : setup_(setup) {}
@@ -43,6 +61,20 @@ class Evaluator {
   /// Measures with `setup().eval_ops` operations (final evaluation).
   Measurement Evaluate(const model::WorkloadSpec& workload,
                        const TuningConfig& config, uint64_t salt = 0) const;
+
+  /// Batched MakeSample over `configs`, where configs[i] uses salt
+  /// `first_salt + i` — exactly the salts a serial loop over MakeSample
+  /// would consume. Results are returned in config order, so the output is
+  /// bit-identical for any `pool` (including none).
+  std::vector<Sample> MakeSamples(const model::WorkloadSpec& workload,
+                                  const std::vector<TuningConfig>& configs,
+                                  uint64_t first_salt,
+                                  util::ThreadPool* pool = nullptr) const;
+
+  /// Batched Evaluate over independent jobs; results in job order,
+  /// bit-identical for any `pool`.
+  std::vector<Measurement> EvaluateBatch(const std::vector<EvalJob>& jobs,
+                                         util::ThreadPool* pool = nullptr) const;
 
   const SystemSetup& setup() const { return setup_; }
 

@@ -57,7 +57,9 @@ void GridTuner::Train(const std::vector<model::WorkloadSpec>& workloads) {
   const std::vector<TuningConfig> grid =
       UniformGrid(sys, options_.budget_per_workload);
   for (const model::WorkloadSpec& w : workloads) {
-    for (const TuningConfig& c : grid) CollectSample(w, c);
+    // The whole per-workload grid is one independent batch — the prime
+    // target for the parallel evaluation engine.
+    CollectSamples(w, grid);
     RefitModel();
     Checkpoint();
   }

@@ -75,12 +75,14 @@ void PlainAlTuner::Train(const std::vector<model::WorkloadSpec>& workloads) {
   const model::SystemParams sys = train_setup_.ToModelParams();
   const int init_samples = std::min(3, options_.budget_per_workload);
   for (const model::WorkloadSpec& w : workloads) {
+    // Draw the initial random configurations serially (they consume rng_),
+    // then evaluate them as one parallel batch. The closing AL loop is
+    // inherently sequential: each query depends on the refit model.
     std::vector<TuningConfig> queried;
     for (int i = 0; i < init_samples; ++i) {
-      const TuningConfig c = RandomConfig(sys);
-      CollectSample(w, c);
-      queried.push_back(c);
+      queried.push_back(RandomConfig(sys));
     }
+    CollectSamples(w, queried);
     for (int round = init_samples; round < options_.budget_per_workload;
          ++round) {
       RefitModel();

@@ -25,6 +25,29 @@ const Sample& ModelBackedTuner::CollectSample(const model::WorkloadSpec& w,
   return samples_.back();
 }
 
+size_t ModelBackedTuner::CollectSamples(const model::WorkloadSpec& w,
+                                        const std::vector<TuningConfig>& xs) {
+  const size_t first = samples_.size();
+  if (xs.empty()) return first;
+  std::vector<Sample> batch =
+      evaluator_.MakeSamples(w, xs, sample_salt_ + 1, pool());
+  sample_salt_ += xs.size();
+  for (Sample& sample : batch) {
+    sampling_cost_ns_ += sample.cost_ns;
+    samples_.push_back(std::move(sample));
+  }
+  return first;
+}
+
+util::ThreadPool* ModelBackedTuner::pool() {
+  if (options_.threads == 0) return util::GlobalPool();
+  if (options_.threads <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+  return pool_.get();
+}
+
 void ModelBackedTuner::RefitModel() {
   if (samples_.empty()) return;
   if (model_ == nullptr) {

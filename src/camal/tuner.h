@@ -9,6 +9,7 @@
 #include "camal/sample.h"
 #include "model/workload_spec.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace camal::tune {
 
@@ -46,6 +47,12 @@ struct TunerOptions {
   /// Extrapolation factor k: train at (N/k, M/k), recommend at (N, M).
   /// 1 disables extrapolation (full-size training).
   double extrapolation_factor = 1.0;
+  /// Worker threads for batched sampling/evaluation: 1 = serial,
+  /// N > 1 = a private pool of N workers, 0 = follow the process-wide
+  /// setting (util::SetGlobalThreads). Results are bit-identical for every
+  /// value — each sample's randomness is derived from its salt, never from
+  /// scheduling.
+  int threads = 0;
   uint64_t seed = 1;
 };
 
@@ -112,6 +119,18 @@ class ModelBackedTuner : public TunerBase {
   const Sample& CollectSample(const model::WorkloadSpec& w,
                               const TuningConfig& x);
 
+  /// Batched CollectSample: evaluates every configuration (in parallel when
+  /// the tuner has worker threads) and appends the samples in config order.
+  /// Consumes the same salts a serial CollectSample loop would, so the
+  /// sample stream is bit-identical at any thread count. Returns the index
+  /// into samples() of the first appended sample; exactly xs.size() samples
+  /// follow it, one per configuration in order.
+  size_t CollectSamples(const model::WorkloadSpec& w,
+                        const std::vector<TuningConfig>& xs);
+
+  /// Worker pool for batched work; nullptr means "run inline".
+  util::ThreadPool* pool();
+
   /// Refits the model on all samples gathered so far.
   void RefitModel();
 
@@ -138,6 +157,8 @@ class ModelBackedTuner : public TunerBase {
   std::vector<Sample> samples_;
   mutable util::Random rng_;
   uint64_t sample_salt_ = 0;
+  /// Private pool, lazily created when options_.threads > 1.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace camal::tune

@@ -1,0 +1,159 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace camal::util {
+
+namespace {
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = HardwareThreads();
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+bool ThreadPool::InWorkerThread() { return tls_in_worker; }
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+namespace {
+std::mutex g_global_mu;
+int g_global_threads = 1;
+std::unique_ptr<ThreadPool> g_global_pool;
+}  // namespace
+
+void SetGlobalThreads(int n) {
+  if (n <= 0) n = HardwareThreads();
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (n == g_global_threads) return;
+  g_global_threads = n;
+  g_global_pool.reset();
+}
+
+int GlobalThreads() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  return g_global_threads;
+}
+
+ThreadPool* GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_threads <= 1) return nullptr;
+  if (g_global_pool == nullptr) {
+    g_global_pool = std::make_unique<ThreadPool>(g_global_threads);
+  }
+  return g_global_pool.get();
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1 ||
+      ThreadPool::InWorkerThread()) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  struct SharedState {
+    std::atomic<size_t> next;
+    size_t end;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t pending = 0;
+    std::exception_ptr error;
+  };
+  SharedState state;
+  state.next.store(begin, std::memory_order_relaxed);
+  state.end = end;
+
+  // The claim loop every participant runs: grab the next unclaimed index
+  // until the range is exhausted. Dynamic claiming balances uneven task
+  // costs; result placement by index keeps output order deterministic.
+  auto drain = [&state, &fn] {
+    for (;;) {
+      const size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state.end) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (!state.error) state.error = std::current_exception();
+        // Abandon unclaimed iterations; the first error wins.
+        state.next.store(state.end, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const size_t helpers =
+      std::min(static_cast<size_t>(pool->num_threads()), n - 1);
+  state.pending = helpers;
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([&state, &drain] {
+      drain();
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.pending == 0) state.done_cv.notify_one();
+    });
+  }
+  drain();  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state] { return state.pending == 0; });
+    if (state.error) std::rethrow_exception(state.error);
+  }
+}
+
+}  // namespace camal::util

@@ -1,0 +1,77 @@
+#ifndef CAMAL_UTIL_THREAD_POOL_H_
+#define CAMAL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace camal::util {
+
+/// Fixed-size worker pool for the embarrassingly parallel loops of the
+/// tuning pipeline (batch sampling, suite evaluation). Tasks must be
+/// independent; determinism is achieved by seeding each task's randomness
+/// from its index, never from thread identity or scheduling order.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects the hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every running task has finished.
+  void WaitIdle();
+
+  /// True when the calling thread is a worker of *any* ThreadPool — used
+  /// by ParallelFor to run nested parallel loops inline instead of
+  /// deadlocking on a fully occupied pool.
+  static bool InWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Hardware concurrency, clamped to at least 1.
+int HardwareThreads();
+
+/// Process-wide default parallelism for components that do not carry an
+/// explicit thread count. `n` <= 0 selects the hardware concurrency.
+/// Intended to be called once at startup (e.g. from a --threads flag);
+/// resizing while the global pool is in use is not supported.
+void SetGlobalThreads(int n);
+int GlobalThreads();
+
+/// Shared pool sized by SetGlobalThreads. Returns nullptr while the global
+/// parallelism is 1 (callers then run inline).
+ThreadPool* GlobalPool();
+
+/// Runs fn(i) for every i in [begin, end), distributed over `pool`'s
+/// workers; the calling thread participates too. Runs inline (plain serial
+/// loop) when `pool` is null or when called from inside a pool worker
+/// (nested parallelism). If any invocation throws, the first exception is
+/// rethrown on the caller after the loop winds down; remaining iterations
+/// may be skipped.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace camal::util
+
+#endif  // CAMAL_UTIL_THREAD_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "util/thread_pool.h"
+
 namespace camal::workload {
 
 ExecutionResult Execute(lsm::LsmTree* tree, const model::WorkloadSpec& spec,
@@ -43,6 +45,16 @@ ExecutionResult Execute(lsm::LsmTree* tree, const model::WorkloadSpec& spec,
   }
   result.num_ops = config.num_ops;
   return result;
+}
+
+std::vector<ExecutionResult> ExecuteBatch(const std::vector<ExecuteJob>& jobs,
+                                          util::ThreadPool* pool) {
+  std::vector<ExecutionResult> out(jobs.size());
+  util::ParallelFor(pool, 0, jobs.size(), [&](size_t i) {
+    const ExecuteJob& job = jobs[i];
+    out[i] = Execute(job.tree, job.spec, job.config, job.keys);
+  });
+  return out;
 }
 
 void BulkLoad(lsm::LsmTree* tree, const KeySpace& keys) {

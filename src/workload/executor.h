@@ -2,11 +2,16 @@
 #define CAMAL_WORKLOAD_EXECUTOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "lsm/lsm_tree.h"
 #include "model/workload_spec.h"
 #include "util/stats.h"
 #include "workload/generator.h"
+
+namespace camal::util {
+class ThreadPool;
+}  // namespace camal::util
 
 namespace camal::workload {
 
@@ -41,6 +46,24 @@ struct ExecutionResult {
 /// device.
 ExecutionResult Execute(lsm::LsmTree* tree, const model::WorkloadSpec& spec,
                         const ExecutorConfig& config, KeySpace* keys);
+
+/// One independent run of the batched execution mode. Every run in a batch
+/// must target its own tree (and therefore its own device). The key space
+/// may be shared between jobs only when no job mutates it — i.e. no job
+/// sets `generator.insert_new_keys` (which appends keys during execution);
+/// mutating jobs each need their own KeySpace.
+struct ExecuteJob {
+  lsm::LsmTree* tree = nullptr;
+  model::WorkloadSpec spec;
+  ExecutorConfig config;
+  KeySpace* keys = nullptr;
+};
+
+/// Batched parallel run mode: executes every job (fanned across `pool`
+/// when provided) and returns the results in job order. Each job carries
+/// its own seed, so the output is bit-identical for any thread count.
+std::vector<ExecutionResult> ExecuteBatch(const std::vector<ExecuteJob>& jobs,
+                                          util::ThreadPool* pool = nullptr);
 
 /// Bulk-loads every key of `keys` into `tree` (initial data ingestion).
 void BulkLoad(lsm::LsmTree* tree, const KeySpace& keys);

@@ -115,8 +115,12 @@ TEST(DynamicTunerTest, TreeStaysCorrectAcrossReconfigurations) {
     const auto result = dyn.RunPhase(&tree, &keys, shifting[i * 4], 500, i);
     // Workloads with non-zero-result lookups must find keys; zero-result
     // lookups must miss (odd keys are never inserted).
-    if (shifting[i * 4].r > 0.1) EXPECT_GT(result.lookups_found, 0u);
-    if (shifting[i * 4].v > 0.1) EXPECT_GT(result.lookups_missed, 0u);
+    if (shifting[i * 4].r > 0.1) {
+      EXPECT_GT(result.lookups_found, 0u);
+    }
+    if (shifting[i * 4].v > 0.1) {
+      EXPECT_GT(result.lookups_missed, 0u);
+    }
   }
   // Spot check a few original keys survived every transition.
   uint64_t value = 0;

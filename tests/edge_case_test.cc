@@ -133,7 +133,10 @@ TEST(EdgeCaseTest, RepeatedReconfigurationUnderLoad) {
     opts.policy = rng.Bernoulli(0.5) ? lsm::CompactionPolicy::kLeveling
                                      : lsm::CompactionPolicy::kTiering;
     tree.Reconfigure(opts);
-    for (int i = 0; i < 600; ++i) tree.Put(++key, key);
+    for (int i = 0; i < 600; ++i) {
+      ++key;
+      tree.Put(key, key);
+    }
   }
   // Everything written across all configurations is still readable.
   uint64_t value = 0;

@@ -358,7 +358,9 @@ TEST_P(TreeReferenceTest, MatchesReferenceModel) {
         ++it;
       }
       // The scan must not stop early while reference entries remain.
-      if (out.size() < 10) ASSERT_EQ(it, reference.end());
+      if (out.size() < 10) {
+        ASSERT_EQ(it, reference.end());
+      }
     }
   }
 }
