@@ -26,40 +26,59 @@
 
 namespace camal::bench {
 
-/// Parses a `--threads=N` (or `--threads N`) argument, removes it from
-/// argv, and configures the process-wide pool accordingly. N = 0 selects
-/// the hardware concurrency; the default (1) keeps benches serial. Every
-/// result is bit-identical across thread counts — only wall-clock changes
-/// — so benches are free to default TunerOptions::threads to 0 ("follow
-/// the global setting").
+/// Process-wide shard count selected by `--shards=N` (default 1: a single
+/// tree, the paper's setting). Benches that build a `SystemSetup` apply it
+/// as `setup.num_shards`.
+inline size_t& ShardsRef() {
+  static size_t shards = 1;
+  return shards;
+}
+inline size_t Shards() { return ShardsRef(); }
+
+/// Parses `--threads=N` and `--shards=N` (or space-separated) arguments,
+/// removes them from argv, and configures the process-wide pool / shard
+/// count. Threads: N = 0 selects the hardware concurrency; the default (1)
+/// keeps benches serial, and every result is bit-identical across thread
+/// counts — only wall-clock changes — so benches are free to default
+/// TunerOptions::threads to 0 ("follow the global setting"). Shards: the
+/// number of LSM-tree partitions the serving engine splits each instance
+/// into (changes the measured system, unlike --threads).
 inline int InitBenchThreads(int* argc, char** argv) {
   // Strict numeric parse: garbage or out-of-range must not silently
-  // become "all cores" (0) or a truncated thread count.
-  const auto parse = [](const char* s, int fallback) {
+  // become "all cores" (0) or a truncated value.
+  const auto parse = [](const char* flag, const char* s, long min, long max,
+                        long fallback) {
     char* end = nullptr;
     errno = 0;
     const long v = std::strtol(s, &end, 10);
-    if (end == s || *end != '\0' || v < 0 || errno == ERANGE ||
-        v > 1024 * 1024) {
-      std::fprintf(stderr,
-                   "[bench] invalid --threads value '%s'; staying serial\n",
-                   s);
+    if (end == s || *end != '\0' || v < min || errno == ERANGE || v > max) {
+      std::fprintf(stderr, "[bench] invalid %s value '%s'; keeping %ld\n",
+                   flag, s, fallback);
       return fallback;
     }
-    return static_cast<int>(v);
+    return v;
   };
-  int threads = 1;
+  long threads = 1;
+  long shards = 1;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = parse(argv[i] + 10, threads);
+      threads = parse("--threads", argv[i] + 10, 0, 1024 * 1024, threads);
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 < *argc) {
-        threads = parse(argv[++i], threads);
+        threads = parse("--threads", argv[++i], 0, 1024 * 1024, threads);
       } else {
         std::fprintf(stderr,
                      "[bench] --threads needs a value (0 = all cores); "
                      "staying serial\n");
+      }
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = parse("--shards", argv[i] + 9, 1, 4096, shards);
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      if (i + 1 < *argc) {
+        shards = parse("--shards", argv[++i], 1, 4096, shards);
+      } else {
+        std::fprintf(stderr, "[bench] --shards needs a value (>= 1)\n");
       }
     } else {
       argv[out++] = argv[i];
@@ -67,12 +86,50 @@ inline int InitBenchThreads(int* argc, char** argv) {
   }
   *argc = out;
   argv[out] = nullptr;  // keep the argv[argc] == NULL invariant
-  util::SetGlobalThreads(threads);
+  util::SetGlobalThreads(static_cast<int>(threads));
+  ShardsRef() = static_cast<size_t>(shards);
   const int resolved = util::GlobalThreads();
   if (resolved > 1) {
     std::printf("[bench] running with %d threads\n", resolved);
   }
+  if (shards > 1) {
+    std::printf("[bench] serving engines use %ld shards\n", shards);
+  }
   return resolved;
+}
+
+/// Strips `--json <path>` / `--json=<path>` from argv and returns the path
+/// ("" when absent). Benches that support machine-readable output use it
+/// to emit a BENCH_*.json artifact for the perf trajectory.
+inline std::string TakeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 < *argc) {
+        path = argv[++i];
+      } else {
+        std::fprintf(stderr, "[bench] --json needs a path\n");
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return path;
+}
+
+/// Baseline `SystemSetup` for a bench: the paper defaults plus the
+/// process-wide `--shards` selection. Every bench that measures through
+/// the Evaluator builds its setups from this so `--shards=N` actually
+/// changes the measured system.
+inline tune::SystemSetup BenchSetup() {
+  tune::SystemSetup setup;
+  setup.num_shards = Shards();
+  return setup;
 }
 
 using RecommendForWorkload =
@@ -82,6 +139,7 @@ using RecommendForWorkload =
 struct SuiteStats {
   double mean_latency_us = 0.0;
   double mean_p90_us = 0.0;
+  double mean_p99_us = 0.0;
   double mean_ios = 0.0;
 };
 
@@ -112,11 +170,13 @@ inline SuiteStats EvaluateSuite(
   for (const tune::Measurement& m : results) {
     stats.mean_latency_us += m.mean_latency_ns / 1e3;
     stats.mean_p90_us += m.p90_latency_ns / 1e3;
+    stats.mean_p99_us += m.p99_latency_ns / 1e3;
     stats.mean_ios += m.ios_per_op;
   }
   const double n = static_cast<double>(results.size());
   stats.mean_latency_us /= n;
   stats.mean_p90_us /= n;
+  stats.mean_p99_us /= n;
   stats.mean_ios /= n;
   return stats;
 }

@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "camal/evaluator.h"
+#include "engine/sharded_engine.h"
 #include "lsm/bloom.h"
 #include "lsm/lsm_tree.h"
 #include "lsm/monkey.h"
@@ -84,6 +85,55 @@ void BM_LsmScan(benchmark::State& state) {
 }
 BENCHMARK(BM_LsmScan);
 
+// ------------------------------------------------------------------------
+// Sharded serving engine: the same core operations through
+// engine::ShardedEngine at varying shard counts (Arg = shards). Overhead
+// vs the BM_Lsm* direct-tree numbers is the partition + scatter-gather
+// cost.
+
+void BM_ShardedPut(benchmark::State& state) {
+  const auto shards = static_cast<size_t>(state.range(0));
+  camal::engine::ShardedEngine eng(shards, DefaultOptions(), QuietDevice());
+  camal::util::Random rng(1);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    eng.Put(rng.Next() % (1 << 22), ++key);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedPut)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ShardedGetHit(benchmark::State& state) {
+  const auto shards = static_cast<size_t>(state.range(0));
+  camal::engine::ShardedEngine eng(shards, DefaultOptions(), QuietDevice());
+  for (uint64_t k = 1; k <= 40000; ++k) eng.Put(2 * k, k);
+  camal::util::Random rng(2);
+  uint64_t value = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.Get(2 * (1 + rng.Uniform(40000)), &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedGetHit)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ShardedScan(benchmark::State& state) {
+  const auto shards = static_cast<size_t>(state.range(0));
+  camal::engine::ShardedEngine eng(shards, DefaultOptions(), QuietDevice());
+  for (uint64_t k = 1; k <= 40000; ++k) eng.Put(2 * k, k);
+  camal::util::Random rng(4);
+  std::vector<camal::lsm::Entry> out;
+  for (auto _ : state) {
+    out.clear();
+    eng.Scan(2 * rng.Uniform(40000), 16, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedScan)->Arg(1)->Arg(4)->Arg(16);
+
 void BM_BloomProbe(benchmark::State& state) {
   camal::lsm::BloomFilter filter(40000, 10.0);
   for (uint64_t k = 0; k < 40000; ++k) filter.Add(2 * k);
@@ -138,7 +188,7 @@ BENCHMARK(BM_GbdtFitPredict);
 // bit-identical either way.
 
 camal::tune::SystemSetup BatchSetup() {
-  camal::tune::SystemSetup setup;
+  camal::tune::SystemSetup setup = camal::bench::BenchSetup();
   setup.num_entries = 4000;
   setup.total_memory_bits = 16 * 4000;
   setup.train_ops = 300;
@@ -192,13 +242,36 @@ BENCHMARK(BM_ParallelForOverhead);
 
 }  // namespace
 
-// Custom main: strip --threads=N (0 = all cores) before google-benchmark
-// sees the unknown flag, then size the global pool with it.
+// Custom main: strip --threads=N (0 = all cores) and --json PATH before
+// google-benchmark sees the unknown flags, then size the global pool.
+// --json PATH is sugar for --benchmark_out=PATH --benchmark_out_format=json
+// — machine-readable output (op throughput, per-benchmark latency, the
+// threads/shards counters) for the perf-trajectory artifact.
 int main(int argc, char** argv) {
   camal::bench::InitBenchThreads(&argc, argv);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::string json_path = camal::bench::TakeJsonFlag(&argc, argv);
+
+  std::vector<std::string> arg_storage(argv, argv + argc);
+  if (!json_path.empty()) {
+    arg_storage.insert(arg_storage.begin() + 1,
+                       "--benchmark_out_format=json");
+    arg_storage.insert(arg_storage.begin() + 1,
+                       "--benchmark_out=" + json_path);
+  }
+  std::vector<char*> args;
+  args.reserve(arg_storage.size() + 1);
+  for (std::string& s : arg_storage) args.push_back(s.data());
+  args.push_back(nullptr);
+  int bench_argc = static_cast<int>(arg_storage.size());
+
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_path.empty()) {
+    std::printf("[bench] wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

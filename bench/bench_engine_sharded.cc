@@ -1,0 +1,209 @@
+// Sharded multi-tenant serving sweep: throughput and simulated latency of
+// engine::ShardedEngine across shard counts x serving-thread counts.
+//
+// Each cell of the sweep serves T independent tenants (one engine each,
+// S shards per engine) through workload::ExecuteBatch fanned across a
+// T-worker pool — the multi-tenant scenario the StorageEngine boundary
+// opens. Simulated metrics (latency, I/O) are bit-identical at any thread
+// count; wall-clock throughput is what the thread axis measures.
+//
+// Flags:
+//   --shards=N    largest shard count swept (default 8; swept as 1,2,4,..N)
+//   --threads=N   largest tenant/thread count swept (default 4)
+//   --ops=N       operations per tenant (default 4000)
+//   --entries=N   initially loaded entries per tenant (default 8000)
+//   --json PATH   also write the sweep as a JSON artifact
+//   --quick       tiny scale for CI smoke
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/sharded_engine.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+
+namespace camal::bench {
+namespace {
+
+struct SweepRow {
+  size_t shards = 0;
+  size_t threads = 0;
+  double wall_ms = 0.0;
+  double ops_per_sec = 0.0;
+  double sim_mean_us = 0.0;
+  double sim_p99_us = 0.0;
+  double sim_ios_per_op = 0.0;
+};
+
+struct SweepConfig {
+  size_t max_shards = 8;
+  size_t max_threads = 4;
+  size_t ops_per_tenant = 4000;
+  uint64_t entries_per_tenant = 8000;
+};
+
+SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads) {
+  tune::SystemSetup setup;
+  setup.num_entries = cfg.entries_per_tenant;
+  setup.total_memory_bits = 16 * cfg.entries_per_tenant;
+  setup.num_shards = shards;
+  const tune::TuningConfig config = tune::MonkeyDefaultConfig(setup);
+  const workload::KeySpace keys(setup.num_entries, setup.seed);
+  const model::WorkloadSpec mix{0.2, 0.3, 0.2, 0.3};
+
+  // T tenants, each its own engine over its own device(s): jitter streams
+  // are derived per tenant so tenants are independent but deterministic.
+  std::vector<std::unique_ptr<engine::ShardedEngine>> tenants;
+  std::vector<workload::ExecuteJob> jobs;
+  for (size_t t = 0; t < threads; ++t) {
+    tenants.push_back(std::make_unique<engine::ShardedEngine>(
+        shards, config.ToOptions(setup),
+        setup.MakeDeviceConfig(/*salt=*/t)));
+    workload::BulkLoad(tenants.back().get(), keys);
+    workload::ExecuteJob job;
+    job.engine = tenants.back().get();
+    job.spec = mix;
+    job.config.num_ops = cfg.ops_per_tenant;
+    job.config.generator.scan_len = setup.scan_len;
+    job.config.seed = 1000 + t;
+    // Steady-state updates only: the shared KeySpace stays immutable.
+    job.keys = const_cast<workload::KeySpace*>(&keys);
+    jobs.push_back(job);
+  }
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<workload::ExecutionResult> results =
+      workload::ExecuteBatch(jobs, pool.get());
+  const auto stop = std::chrono::steady_clock::now();
+
+  SweepRow row;
+  row.shards = shards;
+  row.threads = threads;
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  const double total_ops =
+      static_cast<double>(cfg.ops_per_tenant) * static_cast<double>(threads);
+  row.ops_per_sec = total_ops / (row.wall_ms / 1e3);
+  for (workload::ExecutionResult& r : results) {
+    row.sim_mean_us += r.MeanLatencyNs() / 1e3;
+    row.sim_p99_us += r.P99LatencyNs() / 1e3;
+    row.sim_ios_per_op += r.IosPerOp();
+  }
+  const double n = static_cast<double>(results.size());
+  row.sim_mean_us /= n;
+  row.sim_p99_us /= n;
+  row.sim_ios_per_op /= n;
+  return row;
+}
+
+void WriteJson(const std::string& path, const SweepConfig& cfg,
+               const std::vector<SweepRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_sharded\",\n");
+  std::fprintf(f, "  \"ops_per_tenant\": %zu,\n", cfg.ops_per_tenant);
+  std::fprintf(f, "  \"entries_per_tenant\": %llu,\n",
+               static_cast<unsigned long long>(cfg.entries_per_tenant));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"threads\": %zu, \"wall_ms\": %.3f, "
+                 "\"ops_per_sec\": %.1f, \"sim_mean_us\": %.3f, "
+                 "\"sim_p99_us\": %.3f, \"sim_ios_per_op\": %.4f}%s\n",
+                 r.shards, r.threads, r.wall_ms, r.ops_per_sec, r.sim_mean_us,
+                 r.sim_p99_us, r.sim_ios_per_op,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[bench] wrote %s\n", path.c_str());
+}
+
+void Run(const SweepConfig& cfg, const std::string& json_path) {
+  std::printf("Sharded serving engine: %zu ops/tenant over %llu entries, "
+              "mix v/r/q/w = 0.2/0.3/0.2/0.3\n\n",
+              cfg.ops_per_tenant,
+              static_cast<unsigned long long>(cfg.entries_per_tenant));
+  std::printf("%7s %8s %9s %11s %12s %11s %8s\n", "shards", "tenants",
+              "wall ms", "ops/sec", "sim mean us", "sim p99 us", "ios/op");
+  PrintRule(72);
+
+  std::vector<SweepRow> rows;
+  for (size_t shards = 1; shards <= cfg.max_shards; shards *= 2) {
+    for (size_t threads = 1; threads <= cfg.max_threads; threads *= 2) {
+      const SweepRow row = RunCell(cfg, shards, threads);
+      std::printf("%7zu %8zu %9.1f %11.0f %12.2f %11.2f %8.3f\n", row.shards,
+                  row.threads, row.wall_ms, row.ops_per_sec, row.sim_mean_us,
+                  row.sim_p99_us, row.sim_ios_per_op);
+      rows.push_back(row);
+    }
+  }
+  if (!json_path.empty()) WriteJson(json_path, cfg, rows);
+}
+
+}  // namespace
+}  // namespace camal::bench
+
+int main(int argc, char** argv) {
+  camal::bench::InitBenchThreads(&argc, argv);
+  const std::string json_path = camal::bench::TakeJsonFlag(&argc, argv);
+
+  camal::bench::SweepConfig cfg;
+  // --threads / --shards raise the *largest* swept values; with neither
+  // given, the documented defaults (8 shards x 4 tenants) apply.
+  if (camal::util::GlobalThreads() > 1) {
+    cfg.max_threads = static_cast<size_t>(camal::util::GlobalThreads());
+  }
+  if (camal::bench::Shards() > 1) cfg.max_shards = camal::bench::Shards();
+
+  // Strict numeric parse, same policy as InitBenchThreads: a garbled value
+  // must abort, not silently become a tiny (or zero) sweep.
+  const auto parse_count = [](const char* flag, const char* s,
+                              uint64_t* out) {
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(s, &end, 10);
+    if (end == s || *end != '\0' || v <= 0 || errno == ERANGE) {
+      std::fprintf(stderr, "invalid %s value '%s'\n", flag, s);
+      return false;
+    }
+    *out = static_cast<uint64_t>(v);
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    uint64_t value = 0;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.max_shards = std::min<size_t>(cfg.max_shards, 4);
+      cfg.max_threads = std::min<size_t>(cfg.max_threads, 4);
+      cfg.ops_per_tenant = 1500;
+      cfg.entries_per_tenant = 4000;
+    } else if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      if (!parse_count("--ops", argv[i] + 6, &value)) return 1;
+      cfg.ops_per_tenant = static_cast<size_t>(value);
+    } else if (std::strncmp(argv[i], "--entries=", 10) == 0) {
+      if (!parse_count("--entries", argv[i] + 10, &value)) return 1;
+      cfg.entries_per_tenant = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  camal::bench::Run(cfg, json_path);
+  return 0;
+}

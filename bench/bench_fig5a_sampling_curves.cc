@@ -13,7 +13,7 @@ namespace camal::bench {
 namespace {
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   tune::Evaluator evaluator(setup);
   const auto train = workload::TrainingWorkloads();
   // A diverse evaluation subset (uni/bi/tri-modal) keeps the harness quick.

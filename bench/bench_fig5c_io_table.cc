@@ -11,7 +11,7 @@ namespace camal::bench {
 namespace {
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   tune::Evaluator evaluator(setup);
   const auto workloads = workload::TrainingWorkloads();
 

@@ -11,6 +11,7 @@
 #include "bench_common.h"
 
 #include "camal/dynamic_tuner.h"
+#include "engine/sharded_engine.h"
 
 namespace camal::bench {
 namespace {
@@ -20,13 +21,17 @@ struct PhaseRow {
   double ios = 0.0;
 };
 
+// Both drivers serve through an engine::ShardedEngine with --shards
+// partitions (default 1, which is bit-identical to driving the tree
+// directly). The device jitter stream is derived from the setup seed.
+
 std::vector<PhaseRow> RunStatic(const tune::SystemSetup& setup,
                                 const tune::TuningConfig& config,
                                 size_t ops_per_phase) {
-  sim::Device device(setup.device);
   workload::KeySpace keys(setup.num_entries, setup.seed);
-  lsm::LsmTree tree(config.ToOptions(setup), &device);
-  workload::BulkLoad(&tree, keys);
+  engine::ShardedEngine eng(Shards(), config.ToOptions(setup),
+                            setup.MakeDeviceConfig());
+  workload::BulkLoad(&eng, keys);
 
   std::vector<PhaseRow> rows;
   const auto phases = workload::ShiftingWorkloads();
@@ -36,8 +41,8 @@ std::vector<PhaseRow> RunStatic(const tune::SystemSetup& setup,
     exec.generator.scan_len = setup.scan_len;
     exec.generator.insert_new_keys = true;  // the data grows, as in 5d
     exec.seed = i + 1;
-    const auto result = workload::Execute(&tree, phases[i], exec, &keys);
-    rows.push_back({result.MeanLatencyNs() / 1e3, result.IosPerOp()});
+    auto result = workload::Execute(&eng, phases[i], exec, &keys);
+    rows.push_back(PhaseRow{result.MeanLatencyNs() / 1e3, result.IosPerOp()});
   }
   return rows;
 }
@@ -45,11 +50,11 @@ std::vector<PhaseRow> RunStatic(const tune::SystemSetup& setup,
 std::vector<PhaseRow> RunDynamic(const tune::SystemSetup& setup,
                                  tune::ModelBackedTuner* tuner,
                                  size_t ops_per_phase) {
-  sim::Device device(setup.device);
   workload::KeySpace keys(setup.num_entries, setup.seed);
-  lsm::LsmTree tree(tune::MonkeyDefaultConfig(setup).ToOptions(setup),
-                    &device);
-  workload::BulkLoad(&tree, keys);
+  engine::ShardedEngine eng(
+      Shards(), tune::MonkeyDefaultConfig(setup).ToOptions(setup),
+      setup.MakeDeviceConfig());
+  workload::BulkLoad(&eng, keys);
 
   tune::DynamicTuner::Params params;
   params.window_ops = 1000;
@@ -65,14 +70,14 @@ std::vector<PhaseRow> RunDynamic(const tune::SystemSetup& setup,
   const auto phases = workload::ShiftingWorkloads();
   for (size_t i = 0; i < phases.size(); ++i) {
     const auto result =
-        dynamic.RunPhase(&tree, &keys, phases[i], ops_per_phase, i + 1);
-    rows.push_back({result.MeanLatencyNs() / 1e3, result.IosPerOp()});
+        dynamic.RunPhase(&eng, &keys, phases[i], ops_per_phase, i + 1);
+    rows.push_back(PhaseRow{result.MeanLatencyNs() / 1e3, result.IosPerOp()});
   }
   return rows;
 }
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   const size_t ops_per_phase = 6000;
   const auto train = workload::TrainingWorkloads();
 

@@ -40,7 +40,7 @@ void Run() {
        {tune::ModelKind::kPoly, tune::ModelKind::kTrees}) {
     std::printf("%-10s", tune::ModelKindName(model));
     for (uint64_t n : {20000u, 40000u, 80000u}) {
-      tune::SystemSetup setup;
+      tune::SystemSetup setup = BenchSetup();
       setup.num_entries = n;
       setup.total_memory_bits = 16 * n;
       std::printf(" %8.2f", NormalizedLatency(setup, model));
@@ -54,7 +54,7 @@ void Run() {
        {tune::ModelKind::kPoly, tune::ModelKind::kTrees}) {
     std::printf("%-10s", tune::ModelKindName(model));
     for (uint64_t bits_per_key : {16u, 32u, 64u}) {
-      tune::SystemSetup setup;
+      tune::SystemSetup setup = BenchSetup();
       setup.total_memory_bits = bits_per_key * setup.num_entries;
       std::printf(" %8.2f", NormalizedLatency(setup, model));
     }

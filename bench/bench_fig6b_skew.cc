@@ -11,7 +11,7 @@ namespace camal::bench {
 namespace {
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   const auto base_workloads = workload::TrainingWorkloads();
   std::printf("Figure 6b: normalized latency vs skew (Classic = 1.00)\n\n");
   std::printf("%6s %12s %12s\n", "skew", "CAMAL(Poly)", "CAMAL(Trees)");

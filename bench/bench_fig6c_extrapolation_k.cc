@@ -11,7 +11,7 @@ namespace camal::bench {
 namespace {
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   setup.num_entries = 80000;  // headroom so k=50 is still a real instance
   setup.total_memory_bits = 16 * setup.num_entries;
   tune::Evaluator evaluator(setup);

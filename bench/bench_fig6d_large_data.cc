@@ -12,7 +12,7 @@ namespace camal::bench {
 namespace {
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   setup.num_entries = 200000;  // 5x the default scale
   setup.total_memory_bits = 16 * setup.num_entries;
   tune::Evaluator evaluator(setup);

@@ -10,7 +10,7 @@ namespace camal::bench {
 namespace {
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   tune::Evaluator evaluator(setup);
 
   model::WorkloadSpec writes{0.0, 0.01, 0.0, 0.99};

@@ -35,7 +35,7 @@ void Run() {
       double sum = 0.0;
       int count = 0;
       for (uint64_t n : data_sizes) {
-        tune::SystemSetup setup;
+        tune::SystemSetup setup = BenchSetup();
         setup.num_entries = n;  // memory budget stays at the default
         tune::Evaluator evaluator(setup);
         tune::TuningConfig c;

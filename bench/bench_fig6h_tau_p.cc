@@ -10,6 +10,7 @@
 #include "bench_common.h"
 
 #include "camal/dynamic_tuner.h"
+#include "engine/sharded_engine.h"
 
 namespace camal::bench {
 namespace {
@@ -24,11 +25,11 @@ struct DynResult {
 DynResult RunDynamic(const tune::SystemSetup& setup,
                      tune::ModelBackedTuner* tuner, size_t window, double tau,
                      size_t ops_per_phase) {
-  sim::Device device(setup.device);
   workload::KeySpace keys(setup.num_entries, setup.seed);
-  lsm::LsmTree tree(tune::MonkeyDefaultConfig(setup).ToOptions(setup),
-                    &device);
-  workload::BulkLoad(&tree, keys);
+  engine::ShardedEngine eng(
+      Shards(), tune::MonkeyDefaultConfig(setup).ToOptions(setup),
+      setup.MakeDeviceConfig());
+  workload::BulkLoad(&eng, keys);
 
   tune::DynamicTuner::Params params;
   params.window_ops = window;
@@ -47,7 +48,7 @@ DynResult RunDynamic(const tune::SystemSetup& setup,
   size_t total_ops = 0;
   for (size_t i = 0; i < phases.size(); ++i) {
     const auto result =
-        dynamic.RunPhase(&tree, &keys, phases[i], ops_per_phase, i + 1);
+        dynamic.RunPhase(&eng, &keys, phases[i], ops_per_phase, i + 1);
     total_ns += result.total_ns;
     total_ios += result.total_ios;
     total_ops += result.num_ops;
@@ -58,13 +59,14 @@ DynResult RunDynamic(const tune::SystemSetup& setup,
   out.transition_ios_per_reconf =
       dynamic.reconfigurations() == 0
           ? 0.0
-          : static_cast<double>(tree.counters().transition_ios) /
+          : static_cast<double>(
+                eng.AggregateCounters().transition_ios) /
                 static_cast<double>(dynamic.reconfigurations());
   return out;
 }
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   setup.num_entries = 20000;
   setup.total_memory_bits = 16 * setup.num_entries;
   const size_t ops_per_phase = 4000;
@@ -77,12 +79,12 @@ void Run() {
 
   // Static baseline for normalization.
   tune::MonkeyTuner monkey(setup);
-  sim::Device device(setup.device);
   workload::KeySpace keys(setup.num_entries, setup.seed);
-  lsm::LsmTree tree(
+  engine::ShardedEngine tree(
+      Shards(),
       monkey.Recommend(model::WorkloadSpec{0.25, 0.25, 0.25, 0.25})
           .ToOptions(setup),
-      &device);
+      setup.MakeDeviceConfig());
   workload::BulkLoad(&tree, keys);
   double base_ns = 0.0;
   size_t base_ops = 0;

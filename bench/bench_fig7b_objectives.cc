@@ -12,7 +12,7 @@ namespace camal::bench {
 namespace {
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   tune::Evaluator evaluator(setup);
   const auto train = workload::TrainingWorkloads();
   const std::vector<model::WorkloadSpec> eval_set = {

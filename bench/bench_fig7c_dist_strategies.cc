@@ -22,7 +22,7 @@ std::vector<model::WorkloadSpec> WithSkew(
 }
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   setup.num_entries = 20000;
   setup.total_memory_bits = 16 * setup.num_entries;
   tune::Evaluator evaluator(setup);

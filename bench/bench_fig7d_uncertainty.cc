@@ -53,7 +53,7 @@ tune::TuningConfig EndureRobust(const tune::SystemSetup& setup,
 }
 
 void Run() {
-  tune::SystemSetup setup;
+  tune::SystemSetup setup = BenchSetup();
   tune::Evaluator evaluator(setup);
   const auto train = workload::TrainingWorkloads();
 

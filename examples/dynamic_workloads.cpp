@@ -10,6 +10,7 @@
 #include "camal/camal_tuner.h"
 #include "camal/dynamic_tuner.h"
 #include "camal/evaluator.h"
+#include "lsm/lsm_tree.h"
 #include "workload/tables.h"
 
 using namespace camal;

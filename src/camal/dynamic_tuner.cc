@@ -1,8 +1,10 @@
 #include "camal/dynamic_tuner.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "camal/extrapolation.h"
+#include "util/status.h"
 
 namespace camal::tune {
 
@@ -10,28 +12,70 @@ DynamicTuner::DynamicTuner(RecommendFn recommend,
                            const SystemSetup& base_setup, const Params& params)
     : recommend_(std::move(recommend)),
       base_setup_(base_setup),
-      params_(params),
-      detector_(params.window_ops, params.tau) {}
+      shard_setup_(base_setup),
+      params_(params) {}
+
+void DynamicTuner::BindEngine(const engine::StorageEngine& engine) {
+  const size_t shards = std::max<size_t>(1, engine.NumShards());
+  if (!detectors_.empty()) {
+    CAMAL_CHECK(detectors_.size() == shards);
+    return;
+  }
+  detectors_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    detectors_.emplace_back(params_.window_ops, params_.tau);
+  }
+  shard_setup_ = ScaledDown(base_setup_, static_cast<double>(shards));
+}
+
+size_t DynamicTuner::reconfigurations() const {
+  size_t total = 0;
+  for (const workload::ShiftDetector& d : detectors_) {
+    total += d.reconfigurations();
+  }
+  return total;
+}
+
+void DynamicTuner::RetuneShard(engine::StorageEngine* engine, size_t s,
+                               const model::WorkloadSpec& stream_spec) {
+  // A shift (or the shard's initial window) was detected: re-tune for the
+  // shard's estimated local mix at the shard's *current* data scale.
+  model::WorkloadSpec estimated = detectors_[s].LastWindowSpec();
+  estimated.skew = stream_spec.skew;
+  const double scale = static_cast<double>(engine->ShardEntries(s)) /
+                       static_cast<double>(shard_setup_.num_entries);
+  const model::SystemParams target =
+      ScaleParams(shard_setup_.ToModelParams(), std::max(0.1, scale));
+  last_applied_ = recommend_(estimated, target);
+  engine->ReconfigureShard(s, last_applied_.ToOptions(shard_setup_));
+}
 
 workload::ExecutionResult DynamicTuner::RunPhase(
-    lsm::LsmTree* tree, workload::KeySpace* keys,
+    engine::StorageEngine* engine, workload::KeySpace* keys,
     const model::WorkloadSpec& spec, size_t num_ops, uint64_t seed) {
+  BindEngine(*engine);
+
   workload::ExecutionResult result;
   workload::GeneratorConfig gen_cfg;
   gen_cfg.scan_len = base_setup_.scan_len;
   gen_cfg.insert_new_keys = true;  // data grows across phases
   workload::OperationGenerator gen(spec, keys, gen_cfg, seed);
-  sim::Device* device = tree->device();
   std::vector<lsm::Entry> scan_buf;
 
   for (size_t i = 0; i < num_ops; ++i) {
     const workload::Operation op = gen.Next();
-    const sim::DeviceSnapshot before = device->Snapshot();
+    // Point ops charge one shard only; price them off that shard's device
+    // (identical delta, no per-op sum over all shard devices).
+    const bool point_op = op.type != workload::OpType::kRangeLookup;
+    const size_t home = point_op ? engine->ShardIndex(op.key) : 0;
+    const sim::DeviceSnapshot before = point_op
+                                           ? engine->ShardCostSnapshot(home)
+                                           : engine->CostSnapshot();
     switch (op.type) {
       case workload::OpType::kZeroResultLookup:
       case workload::OpType::kNonZeroResultLookup: {
         uint64_t value = 0;
-        if (tree->Get(op.key, &value)) {
+        if (engine->Get(op.key, &value)) {
           ++result.lookups_found;
         } else {
           ++result.lookups_missed;
@@ -40,31 +84,31 @@ workload::ExecutionResult DynamicTuner::RunPhase(
       }
       case workload::OpType::kRangeLookup:
         scan_buf.clear();
-        tree->Scan(op.key, op.scan_len, &scan_buf);
+        engine->Scan(op.key, op.scan_len, &scan_buf);
         break;
       case workload::OpType::kWrite:
-        tree->Put(op.key, op.value);
+        engine->Put(op.key, op.value);
         break;
       case workload::OpType::kDelete:
-        tree->Delete(op.key);
+        engine->Delete(op.key);
         break;
     }
-    const sim::DeviceSnapshot delta = device->Snapshot().Delta(before);
+    const sim::DeviceSnapshot after = point_op
+                                          ? engine->ShardCostSnapshot(home)
+                                          : engine->CostSnapshot();
+    const sim::DeviceSnapshot delta = after.Delta(before);
     result.latency_ns.Add(delta.elapsed_ns);
     result.total_ns += delta.elapsed_ns;
     result.total_ios += delta.TotalIos();
 
-    if (detector_.Record(op.type)) {
-      // A shift (or the initial window) was detected: re-tune for the
-      // estimated mix at the *current* data scale.
-      model::WorkloadSpec estimated = detector_.LastWindowSpec();
-      estimated.skew = spec.skew;
-      const double scale = static_cast<double>(tree->TotalEntries()) /
-                           static_cast<double>(base_setup_.num_entries);
-      const model::SystemParams target =
-          ScaleParams(base_setup_.ToModelParams(), std::max(0.1, scale));
-      last_applied_ = recommend_(estimated, target);
-      tree->Reconfigure(last_applied_.ToOptions(base_setup_));
+    // Feed the detector(s) of the shard(s) that served the operation:
+    // point ops route to one shard, range lookups fan out to all.
+    if (point_op) {
+      if (detectors_[home].Record(op.type)) RetuneShard(engine, home, spec);
+    } else {
+      for (size_t s = 0; s < detectors_.size(); ++s) {
+        if (detectors_[s].Record(op.type)) RetuneShard(engine, s, spec);
+      }
     }
   }
   result.num_ops = num_ops;

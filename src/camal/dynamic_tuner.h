@@ -2,9 +2,10 @@
 #define CAMAL_CAMAL_DYNAMIC_TUNER_H_
 
 #include <functional>
+#include <vector>
 
 #include "camal/sample.h"
-#include "lsm/lsm_tree.h"
+#include "engine/storage_engine.h"
 #include "workload/executor.h"
 #include "workload/generator.h"
 #include "workload/shift_detector.h"
@@ -16,15 +17,21 @@ namespace camal::tune {
 using RecommendFn = std::function<TuningConfig(const model::WorkloadSpec&,
                                                const model::SystemParams&)>;
 
-/// Dynamic system mode (Section 6): drives a live LSM-tree through a
-/// changing operation stream, detecting workload shifts with a (p, tau)
-/// threshold detector and lazily reconfiguring the tree. Because the
-/// stream keeps inserting new entries, the data grows; the target scale
-/// passed to the recommender grows accordingly (extrapolation strategy).
+/// Dynamic system mode (Section 6): drives a live storage engine through a
+/// changing operation stream, detecting workload shifts with (p, tau)
+/// threshold detectors and lazily reconfiguring. Because the stream keeps
+/// inserting new entries, the data grows; the target scale passed to the
+/// recommender grows accordingly (extrapolation strategy).
+///
+/// The tuner is shard-aware: it keeps one `ShiftDetector` per engine shard
+/// and retunes each shard independently, from its *local* operation mix at
+/// its *local* data scale, through `StorageEngine::ReconfigureShard`. On a
+/// single-shard engine (a bare `lsm::LsmTree`) this degenerates to exactly
+/// the original one-detector, whole-tree behavior.
 class DynamicTuner {
  public:
   struct Params {
-    /// Detector window p, in operations.
+    /// Detector window p, in operations (per shard).
     size_t window_ops = 1000;
     /// Detector threshold tau on any operation fraction.
     double tau = 0.10;
@@ -33,22 +40,35 @@ class DynamicTuner {
   DynamicTuner(RecommendFn recommend, const SystemSetup& base_setup,
                const Params& params);
 
-  /// Runs `num_ops` operations of `spec` against `tree`, reconfiguring
-  /// whenever the detector fires. Writes insert new keys so the data set
-  /// grows across phases.
-  workload::ExecutionResult RunPhase(lsm::LsmTree* tree,
+  /// Runs `num_ops` operations of `spec` against `engine`, reconfiguring
+  /// any shard whose detector fires. Writes insert new keys so the data
+  /// set grows across phases.
+  workload::ExecutionResult RunPhase(engine::StorageEngine* engine,
                                      workload::KeySpace* keys,
                                      const model::WorkloadSpec& spec,
                                      size_t num_ops, uint64_t seed);
 
-  size_t reconfigurations() const { return detector_.reconfigurations(); }
+  /// Total reconfigurations across all shards.
+  size_t reconfigurations() const;
   const TuningConfig& last_applied() const { return last_applied_; }
 
  private:
+  /// Lazily sizes the per-shard detector array to the engine's shard
+  /// count (the engine must not change between phases).
+  void BindEngine(const engine::StorageEngine& engine);
+
+  /// Retunes shard `s` from its detector's last-window mix at its current
+  /// local scale.
+  void RetuneShard(engine::StorageEngine* engine, size_t s,
+                   const model::WorkloadSpec& stream_spec);
+
   RecommendFn recommend_;
   SystemSetup base_setup_;
+  /// `base_setup_` divided across the bound engine's shards: the scale one
+  /// shard serves, used to price shard-local recommendations.
+  SystemSetup shard_setup_;
   Params params_;
-  workload::ShiftDetector detector_;
+  std::vector<workload::ShiftDetector> detectors_;
   TuningConfig last_applied_;
 };
 

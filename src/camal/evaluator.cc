@@ -1,6 +1,8 @@
 #include "camal/evaluator.h"
 
-#include "lsm/lsm_tree.h"
+#include <algorithm>
+
+#include "engine/sharded_engine.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "workload/executor.h"
@@ -8,24 +10,19 @@
 
 namespace camal::tune {
 
-namespace {
-uint64_t HashCombine(uint64_t a, uint64_t b) {
-  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
-  return a;
-}
-}  // namespace
+using util::HashCombine;
 
 Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
                                const TuningConfig& config, size_t num_ops,
                                uint64_t salt) const {
-  sim::DeviceConfig device_config = setup_.device;
-  device_config.jitter_seed = HashCombine(setup_.seed, salt);
-  sim::Device device(device_config);
-
   // The dataset itself is fixed per setup (same keys for every sample).
   workload::KeySpace keys(setup_.num_entries, setup_.seed);
-  lsm::LsmTree tree(config.ToOptions(setup_), &device);
-  workload::BulkLoad(&tree, keys);
+  // One shard is bit-identical to the historical direct-tree path: the
+  // engine wraps a single tree over a device with exactly this config.
+  engine::ShardedEngine eng(std::max<size_t>(1, setup_.num_shards),
+                            config.ToOptions(setup_),
+                            setup_.MakeDeviceConfig(salt));
+  workload::BulkLoad(&eng, keys);
   // Phase-randomizing warmup: a salt-dependent burst of updates so each
   // measurement samples a different compaction-fullness phase. Without it,
   // every run would observe the single deterministic post-load phase, and
@@ -35,10 +32,10 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
     const auto extra = static_cast<uint64_t>(
         0.3 * static_cast<double>(setup_.num_entries) * warm_rng.NextDouble());
     for (uint64_t i = 0; i < extra; ++i) {
-      tree.Put(keys.KeyAt(warm_rng.Uniform(keys.num_keys())), i);
+      eng.Put(keys.KeyAt(warm_rng.Uniform(keys.num_keys())), i);
     }
   }
-  const double build_ns = device.elapsed_ns();
+  const double build_ns = eng.CostSnapshot().elapsed_ns;
 
   workload::ExecutorConfig exec;
   exec.num_ops = num_ops;
@@ -46,11 +43,12 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
   exec.generator.insert_new_keys = false;
   exec.seed = HashCombine(setup_.seed * 31, salt + 1);
   workload::ExecutionResult result =
-      workload::Execute(&tree, workload, exec, &keys);
+      workload::Execute(&eng, workload, exec, &keys);
 
   Measurement m;
   m.mean_latency_ns = result.MeanLatencyNs();
   m.p90_latency_ns = result.latency_ns.Quantile(0.9);
+  m.p99_latency_ns = result.latency_ns.Quantile(0.99);
   m.ios_per_op = result.IosPerOp();
   m.build_ns = build_ns;
   m.run_ns = result.total_ns;

@@ -17,6 +17,7 @@ namespace camal::tune {
 struct Measurement {
   double mean_latency_ns = 0.0;
   double p90_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
   double ios_per_op = 0.0;
   /// Simulated time of the initial data ingestion.
   double build_ns = 0.0;
@@ -34,11 +35,13 @@ struct EvalJob {
   uint64_t salt = 0;
 };
 
-/// Runs (workload, config) pairs on fresh LSM-tree instances and measures
-/// simulated latency/IO — the "execute database instance" step of
-/// Algorithm 2.
+/// Runs (workload, config) pairs on fresh serving-engine instances and
+/// measures simulated latency/IO — the "execute database instance" step of
+/// Algorithm 2. Instances are `engine::ShardedEngine`s with
+/// `setup.num_shards` partitions (1 shard is bit-identical to a bare
+/// tree).
 ///
-/// Every measurement builds its own tree/device/generator from
+/// Every measurement builds its own engine/device(s)/generator from
 /// deterministic seeds, so distinct measurements are independent and the
 /// batch entry points below may fan them across a ThreadPool without
 /// changing any result.

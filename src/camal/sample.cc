@@ -7,6 +7,7 @@
 #include "ml/gbdt.h"
 #include "ml/mlp.h"
 #include "ml/poly.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace camal::tune {
@@ -47,6 +48,12 @@ model::SystemParams SystemSetup::ToModelParams() const {
   p.selectivity = static_cast<double>(scan_len);
   p.total_memory_bits = static_cast<double>(total_memory_bits);
   return p;
+}
+
+sim::DeviceConfig SystemSetup::MakeDeviceConfig(uint64_t salt) const {
+  sim::DeviceConfig cfg = device;
+  cfg.jitter_seed = util::HashCombine(seed, salt);
+  return cfg;
 }
 
 SystemSetup ScaledDown(const SystemSetup& setup, double k) {

@@ -36,9 +36,21 @@ struct SystemSetup {
   size_t eval_ops = 8000;
   /// Master seed.
   uint64_t seed = 42;
+  /// Number of independent LSM-tree shards the serving engine partitions
+  /// the key space across (1 = a single tree, today's direct path). The
+  /// Evaluator measures samples on an `engine::ShardedEngine` with this
+  /// many shards; the tuning space (memory, T, policy) still describes the
+  /// *total* system budget.
+  size_t num_shards = 1;
 
   /// The closed-form model's view of this setup.
   model::SystemParams ToModelParams() const;
+
+  /// Device config for one measurement run: a copy of `device` whose
+  /// jitter seed is derived from (`seed`, `salt`) so distinct setups (and
+  /// distinct salts within a setup) never share a correlated jitter
+  /// stream.
+  sim::DeviceConfig MakeDeviceConfig(uint64_t salt = 0) const;
 };
 
 /// Returns a copy of `setup` scaled down by factor `k` (N/k entries, M/k

@@ -1,0 +1,158 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace camal::engine {
+
+ShardedEngine::ShardedEngine(size_t num_shards,
+                             const lsm::Options& total_options,
+                             const sim::DeviceConfig& device_config) {
+  CAMAL_CHECK(num_shards >= 1);
+  const lsm::Options shard_options = ShardOptions(total_options, num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    sim::DeviceConfig cfg = device_config;
+    // Shard 0 keeps the caller's jitter stream (1-shard bit-identity with
+    // the direct-tree path); later shards derive independent streams.
+    if (i > 0) cfg.jitter_seed = util::HashCombine(cfg.jitter_seed, i);
+    Shard shard;
+    shard.device = std::make_unique<sim::Device>(cfg);
+    shard.tree =
+        std::make_unique<lsm::LsmTree>(shard_options, shard.device.get());
+    shards_.push_back(std::move(shard));
+  }
+}
+
+lsm::Options ShardedEngine::ShardOptions(const lsm::Options& total,
+                                         size_t num_shards) {
+  CAMAL_CHECK(num_shards >= 1);
+  if (num_shards == 1) return total;
+  lsm::Options per_shard = total;
+  const auto n = static_cast<uint64_t>(num_shards);
+  per_shard.buffer_bytes =
+      std::max<uint64_t>(total.entry_bytes, total.buffer_bytes / n);
+  per_shard.bloom_bits = total.bloom_bits / n;
+  per_shard.block_cache_bytes = total.block_cache_bytes / n;
+  return per_shard;
+}
+
+size_t ShardedEngine::ShardIndex(uint64_t key) const {
+  if (shards_.size() == 1) return 0;
+  return static_cast<size_t>(util::Mix64(key) % shards_.size());
+}
+
+void ShardedEngine::Put(uint64_t key, uint64_t value) {
+  shards_[ShardIndex(key)].tree->Put(key, value);
+}
+
+void ShardedEngine::Delete(uint64_t key) {
+  shards_[ShardIndex(key)].tree->Delete(key);
+}
+
+bool ShardedEngine::Get(uint64_t key, uint64_t* value) {
+  return shards_[ShardIndex(key)].tree->Get(key, value);
+}
+
+size_t ShardedEngine::Scan(uint64_t start_key, size_t max_entries,
+                           std::vector<lsm::Entry>* out) {
+  if (shards_.size() == 1) {
+    return shards_[0].tree->Scan(start_key, max_entries, out);
+  }
+  if (max_entries == 0) return 0;
+
+  // Scatter: each shard contributes up to max_entries of its own sorted,
+  // live entries (keys are hash-partitioned, so shard slices are disjoint).
+  std::vector<std::vector<lsm::Entry>> slices(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].tree->Scan(start_key, max_entries, &slices[s]);
+  }
+
+  // Gather: k-way merge of the disjoint sorted slices. Shard count is
+  // small, so a linear min-scan beats a heap here.
+  std::vector<size_t> idx(shards_.size(), 0);
+  size_t added = 0;
+  while (added < max_entries) {
+    size_t best = shards_.size();
+    uint64_t best_key = std::numeric_limits<uint64_t>::max();
+    for (size_t s = 0; s < slices.size(); ++s) {
+      if (idx[s] >= slices[s].size()) continue;
+      const uint64_t k = slices[s][idx[s]].key;
+      if (best == shards_.size() || k < best_key) {
+        best = s;
+        best_key = k;
+      }
+    }
+    if (best == shards_.size()) break;
+    out->push_back(slices[best][idx[best]++]);
+    ++added;
+  }
+  return added;
+}
+
+void ShardedEngine::FlushMemtable() {
+  for (Shard& shard : shards_) shard.tree->FlushMemtable();
+}
+
+void ShardedEngine::Reconfigure(const lsm::Options& new_total_options) {
+  const lsm::Options per_shard =
+      ShardOptions(new_total_options, shards_.size());
+  for (Shard& shard : shards_) shard.tree->Reconfigure(per_shard);
+}
+
+void ShardedEngine::ReconfigureShard(size_t shard,
+                                     const lsm::Options& options) {
+  CAMAL_CHECK(shard < shards_.size());
+  shards_[shard].tree->Reconfigure(options);
+}
+
+sim::DeviceSnapshot ShardedEngine::CostSnapshot() const {
+  sim::DeviceSnapshot total;
+  for (const Shard& shard : shards_) {
+    const sim::DeviceSnapshot s = shard.device->Snapshot();
+    total.block_reads += s.block_reads;
+    total.block_writes += s.block_writes;
+    total.elapsed_ns += s.elapsed_ns;
+  }
+  return total;
+}
+
+sim::DeviceSnapshot ShardedEngine::ShardCostSnapshot(size_t shard) const {
+  CAMAL_CHECK(shard < shards_.size());
+  return shards_[shard].device->Snapshot();
+}
+
+EngineCounters ShardedEngine::AggregateCounters() const {
+  EngineCounters total;
+  for (const Shard& shard : shards_) total += shard.tree->counters();
+  return total;
+}
+
+uint64_t ShardedEngine::TotalEntries() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.tree->TotalEntries();
+  return total;
+}
+
+uint64_t ShardedEngine::DiskEntries() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.tree->DiskEntries();
+  return total;
+}
+
+uint64_t ShardedEngine::ShardEntries(size_t shard) const {
+  CAMAL_CHECK(shard < shards_.size());
+  return shards_[shard].tree->TotalEntries();
+}
+
+bool ShardedEngine::InTransition() const {
+  for (const Shard& shard : shards_) {
+    if (shard.tree->InTransition()) return true;
+  }
+  return false;
+}
+
+}  // namespace camal::engine

@@ -1,0 +1,89 @@
+#ifndef CAMAL_ENGINE_SHARDED_ENGINE_H_
+#define CAMAL_ENGINE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/storage_engine.h"
+#include "lsm/lsm_tree.h"
+#include "sim/device.h"
+
+namespace camal::engine {
+
+/// N independent `lsm::LsmTree` shards behind a deterministic hash
+/// partitioner — the multi-tenant serving engine. Each shard owns its own
+/// simulated device and its own options; the total memory budget of the
+/// system-wide options is divided evenly across shards.
+///
+/// Point operations route to `Mix64(key) % N`. `Scan` scatter-gathers: all
+/// shards are range-probed and their sorted slices k-way merged into a
+/// globally sorted result. `Reconfigure` re-divides a new total budget;
+/// `ReconfigureShard` retunes one shard independently (the dynamic tuner's
+/// per-shard path).
+///
+/// With one shard the engine is bit-identical to driving the tree
+/// directly: shard 0 uses the caller's device config verbatim (including
+/// its jitter seed), options pass through undivided, and `Scan` forwards
+/// without a merge layer.
+class ShardedEngine : public StorageEngine {
+ public:
+  /// `total_options` is the system-wide configuration; each shard receives
+  /// `ShardOptions(total_options, num_shards)`. Shard 0's device uses
+  /// `device_config` verbatim; shard i > 0 derives an independent jitter
+  /// stream from it (seed ⊕ i), so distinct shards never share correlated
+  /// jitter.
+  ShardedEngine(size_t num_shards, const lsm::Options& total_options,
+                const sim::DeviceConfig& device_config);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  void Put(uint64_t key, uint64_t value) override;
+  void Delete(uint64_t key) override;
+  bool Get(uint64_t key, uint64_t* value) override;
+  size_t Scan(uint64_t start_key, size_t max_entries,
+              std::vector<lsm::Entry>* out) override;
+  void FlushMemtable() override;
+
+  /// Divides `new_total_options`'s memory budget across shards and
+  /// reconfigures every shard lazily.
+  void Reconfigure(const lsm::Options& new_total_options) override;
+
+  /// Applies `options` to one shard as-is (shard-local budget).
+  void ReconfigureShard(size_t shard, const lsm::Options& options) override;
+
+  size_t NumShards() const override { return shards_.size(); }
+  size_t ShardIndex(uint64_t key) const override;
+
+  sim::DeviceSnapshot CostSnapshot() const override;
+  sim::DeviceSnapshot ShardCostSnapshot(size_t shard) const override;
+  EngineCounters AggregateCounters() const override;
+
+  uint64_t TotalEntries() const override;
+  uint64_t DiskEntries() const override;
+  uint64_t ShardEntries(size_t shard) const override;
+  bool InTransition() const override;
+
+  /// Direct shard access (tests, per-shard inspection).
+  lsm::LsmTree* shard(size_t i) { return shards_[i].tree.get(); }
+  const lsm::LsmTree* shard(size_t i) const { return shards_[i].tree.get(); }
+  sim::Device* shard_device(size_t i) { return shards_[i].device.get(); }
+
+  /// The per-shard slice of a total configuration: buffer, Bloom, and
+  /// block-cache budgets divided by `num_shards` (shape knobs unchanged).
+  /// Identity when `num_shards` == 1.
+  static lsm::Options ShardOptions(const lsm::Options& total,
+                                   size_t num_shards);
+
+ private:
+  struct Shard {
+    std::unique_ptr<sim::Device> device;
+    std::unique_ptr<lsm::LsmTree> tree;
+  };
+  std::vector<Shard> shards_;
+};
+
+}  // namespace camal::engine
+
+#endif  // CAMAL_ENGINE_SHARDED_ENGINE_H_

@@ -1,0 +1,131 @@
+#ifndef CAMAL_ENGINE_STORAGE_ENGINE_H_
+#define CAMAL_ENGINE_STORAGE_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lsm/entry.h"
+#include "lsm/options.h"
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace camal::engine {
+
+/// Aggregate compaction/flush counters exposed by every storage engine.
+/// For a single LSM-tree these are the tree's own counters; a sharded
+/// engine reports the sum over its shards.
+struct EngineCounters {
+  uint64_t compaction_block_reads = 0;
+  uint64_t compaction_block_writes = 0;
+  /// Compaction I/O performed while the engine was morphing toward a new
+  /// configuration (dynamic mode, Section 6 of the paper).
+  uint64_t transition_ios = 0;
+  uint64_t flushes = 0;
+  uint64_t merges = 0;
+
+  EngineCounters& operator+=(const EngineCounters& other) {
+    compaction_block_reads += other.compaction_block_reads;
+    compaction_block_writes += other.compaction_block_writes;
+    transition_ios += other.transition_ios;
+    flushes += other.flushes;
+    merges += other.merges;
+    return *this;
+  }
+};
+
+/// Abstract key-value serving engine — the boundary between the execution
+/// stack (workload::Execute, tune::Evaluator, tune::DynamicTuner) and a
+/// concrete storage backend. `lsm::LsmTree` implements it directly (one
+/// tree, one device); `ShardedEngine` composes N trees behind a hash
+/// partitioner. Later backends (async shard I/O, a real-device engine)
+/// slot in behind the same surface.
+///
+/// Simulated cost accounting flows through `CostSnapshot()`: callers diff
+/// two snapshots around an operation to price it, exactly as they would
+/// diff a single `sim::Device`. Multi-device engines report the *sum* over
+/// their devices, i.e. the serial-equivalent simulated time.
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  /// Inserts or updates a key. May trigger flushes and compactions.
+  virtual void Put(uint64_t key, uint64_t value) = 0;
+
+  /// Deletes a key by writing a tombstone.
+  virtual void Delete(uint64_t key) = 0;
+
+  /// Point lookup. Returns true and fills `*value` when the key is live;
+  /// false for missing or deleted keys. (`value` may be null.)
+  virtual bool Get(uint64_t key, uint64_t* value) = 0;
+
+  /// Range lookup: appends up to `max_entries` live entries with
+  /// key >= start_key, in globally sorted key order, to `out`. Returns how
+  /// many were added.
+  virtual size_t Scan(uint64_t start_key, size_t max_entries,
+                      std::vector<lsm::Entry>* out) = 0;
+
+  /// Forces buffered writes to disk (no-op when empty).
+  virtual void FlushMemtable() = 0;
+
+  /// Applies a new configuration lazily (Section 6). For sharded engines
+  /// `new_options` describes the *total* system budget, divided evenly
+  /// across shards.
+  virtual void Reconfigure(const lsm::Options& new_options) = 0;
+
+  // --- Sharding surface -------------------------------------------------
+
+  /// Number of independent partitions. 1 for a single tree.
+  virtual size_t NumShards() const { return 1; }
+
+  /// Deterministic partition a point operation on `key` routes to.
+  virtual size_t ShardIndex(uint64_t key) const {
+    (void)key;
+    return 0;
+  }
+
+  /// Reconfigures one shard with *shard-local* options (the dynamic tuner
+  /// retunes shards independently as their local mixes drift). The default
+  /// serves single-shard engines.
+  virtual void ReconfigureShard(size_t shard, const lsm::Options& options) {
+    CAMAL_CHECK(shard == 0);
+    Reconfigure(options);
+  }
+
+  // --- Cost accounting --------------------------------------------------
+
+  /// Point-in-time aggregate of simulated I/O + time across the engine's
+  /// devices. Diff two snapshots to price an operation window.
+  virtual sim::DeviceSnapshot CostSnapshot() const = 0;
+
+  /// Cost snapshot of one shard's device. A point operation only charges
+  /// its routed shard, so callers can price it by diffing this instead of
+  /// summing every device (the deltas are identical; scans, which touch
+  /// all shards, must diff the full `CostSnapshot`).
+  virtual sim::DeviceSnapshot ShardCostSnapshot(size_t shard) const {
+    CAMAL_CHECK(shard == 0);
+    return CostSnapshot();
+  }
+
+  /// Aggregate compaction/flush counters.
+  virtual EngineCounters AggregateCounters() const = 0;
+
+  // --- Scale views ------------------------------------------------------
+
+  virtual uint64_t TotalEntries() const = 0;
+  virtual uint64_t DiskEntries() const = 0;
+
+  /// Live entries held by one shard (memtable + disk).
+  virtual uint64_t ShardEntries(size_t shard) const {
+    CAMAL_CHECK(shard == 0);
+    return TotalEntries();
+  }
+
+  /// True while any shard's structure still violates its latest
+  /// configuration.
+  virtual bool InTransition() const = 0;
+};
+
+}  // namespace camal::engine
+
+#endif  // CAMAL_ENGINE_STORAGE_ENGINE_H_

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/storage_engine.h"
 #include "lsm/block_cache.h"
 #include "lsm/entry.h"
 #include "lsm/memtable.h"
@@ -14,16 +15,9 @@
 
 namespace camal::lsm {
 
-/// Aggregate counters the tuners and benchmarks read off a tree.
-struct TreeCounters {
-  uint64_t compaction_block_reads = 0;
-  uint64_t compaction_block_writes = 0;
-  /// Compaction I/O performed while the tree was morphing toward a new
-  /// configuration (dynamic mode, Section 6 of the paper).
-  uint64_t transition_ios = 0;
-  uint64_t flushes = 0;
-  uint64_t merges = 0;
-};
+/// Aggregate counters the tuners and benchmarks read off a tree — the
+/// single-tree view of the engine-level counters.
+using TreeCounters = engine::EngineCounters;
 
 /// A log-structured merge tree over a simulated device.
 ///
@@ -32,7 +26,7 @@ struct TreeCounters {
 /// and SST-file-size extension knobs, and lazy online reconfiguration
 /// (the DLSM design of Section 6): `Reconfigure` updates the target shape
 /// and the structure converges through subsequent natural compactions.
-class LsmTree {
+class LsmTree : public engine::StorageEngine {
  public:
   /// `device` must outlive the tree; all simulated cost is charged there.
   LsmTree(const Options& options, sim::Device* device);
@@ -41,40 +35,48 @@ class LsmTree {
   LsmTree& operator=(const LsmTree&) = delete;
 
   /// Inserts or updates a key. May trigger a flush and compactions.
-  void Put(uint64_t key, uint64_t value);
+  void Put(uint64_t key, uint64_t value) override;
 
   /// Deletes a key by writing a tombstone.
-  void Delete(uint64_t key);
+  void Delete(uint64_t key) override;
 
   /// Point lookup. Returns true and fills `*value` when the key is live;
   /// false for missing or deleted keys. (`value` may be null.)
-  bool Get(uint64_t key, uint64_t* value);
+  bool Get(uint64_t key, uint64_t* value) override;
 
   /// Range lookup: appends up to `max_entries` live entries with
   /// key >= start_key, in key order, to `out`. Returns how many were added.
   size_t Scan(uint64_t start_key, size_t max_entries,
-              std::vector<Entry>* out);
+              std::vector<Entry>* out) override;
 
   /// Forces the write buffer to disk (no-op when empty).
-  void FlushMemtable();
+  void FlushMemtable() override;
 
   /// Applies a new configuration lazily (Section 6). Level capacities,
   /// runs-per-level, and Bloom bits-per-key targets change immediately, but
   /// the physical structure only morphs during subsequent flushes and
   /// compactions; the block cache is resized immediately. `entry_bytes`
   /// must not change.
-  void Reconfigure(const Options& new_options);
+  void Reconfigure(const Options& new_options) override;
 
   const Options& options() const { return options_; }
   sim::Device* device() { return device_; }
   BlockCache* cache() { return &cache_; }
   const TreeCounters& counters() const { return counters_; }
 
+  /// Engine cost accounting: the tree's single device.
+  sim::DeviceSnapshot CostSnapshot() const override {
+    return device_->Snapshot();
+  }
+  engine::EngineCounters AggregateCounters() const override {
+    return counters_;
+  }
+
   /// Live view helpers.
-  uint64_t TotalEntries() const {
+  uint64_t TotalEntries() const override {
     return levels_.TotalEntries() + memtable_.size();
   }
-  uint64_t DiskEntries() const { return levels_.TotalEntries(); }
+  uint64_t DiskEntries() const override { return levels_.TotalEntries(); }
   size_t MemtableSize() const { return memtable_.size(); }
   int NumPopulatedLevels() const { return levels_.DeepestNonEmpty() + 1; }
   std::vector<uint64_t> LevelEntryCounts() const {
@@ -82,7 +84,7 @@ class LsmTree {
   }
   std::vector<size_t> LevelRunCounts() const { return levels_.RunCounts(); }
   /// True while the structure still violates the latest configuration.
-  bool InTransition() const { return transition_active_; }
+  bool InTransition() const override { return transition_active_; }
 
  private:
   uint64_t EntriesPerBlock() const {

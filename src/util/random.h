@@ -5,6 +5,23 @@
 
 namespace camal::util {
 
+/// Boost-style 64-bit hash combiner: deterministically folds `b` into `a`.
+/// Used to derive independent seed streams from (master seed, salt) pairs.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function.
+/// Used as the deterministic shard partitioner (keys are structured —
+/// consecutive even integers — so raw modulo would stripe, not hash).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic, seedable pseudo-random generator (xoshiro256**).
 ///
 /// All randomness in the repository flows through this class so experiments

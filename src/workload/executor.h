@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "lsm/lsm_tree.h"
+#include "engine/storage_engine.h"
 #include "model/workload_spec.h"
 #include "util/stats.h"
 #include "workload/generator.h"
@@ -39,21 +39,26 @@ struct ExecutionResult {
                         : static_cast<double>(total_ios) /
                               static_cast<double>(num_ops);
   }
+  /// Tail latencies from the per-operation sketch (sorts on first call).
+  double P90LatencyNs() { return latency_ns.Quantile(0.90); }
+  double P99LatencyNs() { return latency_ns.Quantile(0.99); }
 };
 
-/// Runs `config.num_ops` operations drawn from `spec` against `tree`,
-/// measuring per-operation simulated latency and I/O through the tree's
-/// device.
-ExecutionResult Execute(lsm::LsmTree* tree, const model::WorkloadSpec& spec,
+/// Runs `config.num_ops` operations drawn from `spec` against `engine`,
+/// measuring per-operation simulated latency and I/O through the engine's
+/// cost snapshots. Any StorageEngine works: a bare `lsm::LsmTree` or an
+/// `engine::ShardedEngine`.
+ExecutionResult Execute(engine::StorageEngine* engine,
+                        const model::WorkloadSpec& spec,
                         const ExecutorConfig& config, KeySpace* keys);
 
 /// One independent run of the batched execution mode. Every run in a batch
-/// must target its own tree (and therefore its own device). The key space
-/// may be shared between jobs only when no job mutates it — i.e. no job
-/// sets `generator.insert_new_keys` (which appends keys during execution);
-/// mutating jobs each need their own KeySpace.
+/// must target its own engine (and therefore its own device(s)). The key
+/// space may be shared between jobs only when no job mutates it — i.e. no
+/// job sets `generator.insert_new_keys` (which appends keys during
+/// execution); mutating jobs each need their own KeySpace.
 struct ExecuteJob {
-  lsm::LsmTree* tree = nullptr;
+  engine::StorageEngine* engine = nullptr;
   model::WorkloadSpec spec;
   ExecutorConfig config;
   KeySpace* keys = nullptr;
@@ -65,8 +70,8 @@ struct ExecuteJob {
 std::vector<ExecutionResult> ExecuteBatch(const std::vector<ExecuteJob>& jobs,
                                           util::ThreadPool* pool = nullptr);
 
-/// Bulk-loads every key of `keys` into `tree` (initial data ingestion).
-void BulkLoad(lsm::LsmTree* tree, const KeySpace& keys);
+/// Bulk-loads every key of `keys` into `engine` (initial data ingestion).
+void BulkLoad(engine::StorageEngine* engine, const KeySpace& keys);
 
 }  // namespace camal::workload
 

@@ -281,6 +281,55 @@ TEST(LsmTreeTest, ReconfigureGrowIsFree) {
   EXPECT_EQ(tree.counters().transition_ios, 0u);
 }
 
+TEST(LsmTreeTest, ReconfigureWhileTransitionInFlight) {
+  // A second Reconfigure arriving while the tree is still morphing toward
+  // the previous target must simply retarget: the lazy transition machinery
+  // converges to the *latest* configuration, and data stays correct.
+  sim::Device dev(QuietDevice());
+  Options opts = SmallOptions(CompactionPolicy::kLeveling, 10.0);
+  LsmTree tree(opts, &dev);
+  for (uint64_t k = 0; k < 4000; ++k) tree.Put(k, k);
+
+  Options shrink = opts;
+  shrink.size_ratio = 2.0;
+  tree.Reconfigure(shrink);
+  ASSERT_TRUE(tree.InTransition());
+
+  // Mid-flight retarget to an intermediate shape.
+  Options mid = opts;
+  mid.size_ratio = 4.0;
+  tree.Reconfigure(mid);
+  EXPECT_EQ(tree.options().size_ratio, 4.0);
+
+  for (uint64_t k = 0; k < 6000; ++k) tree.Put(k + 50000, k);
+  EXPECT_FALSE(tree.InTransition());
+  uint64_t value = 0;
+  EXPECT_TRUE(tree.Get(100, &value));
+  EXPECT_EQ(value, 100u);
+  EXPECT_TRUE(tree.Get(50100, &value));
+}
+
+TEST(LsmTreeTest, ReconfigureRevertMidFlightClearsTransition) {
+  // Reverting to the original shape while a shrink is still in flight must
+  // immediately cancel the transition: nothing violates the (restored)
+  // configuration, so no transition I/O should be charged afterwards.
+  sim::Device dev(QuietDevice());
+  Options opts = SmallOptions(CompactionPolicy::kLeveling, 8.0);
+  LsmTree tree(opts, &dev);
+  for (uint64_t k = 0; k < 4000; ++k) tree.Put(k, k);
+
+  Options shrink = opts;
+  shrink.size_ratio = 2.0;
+  tree.Reconfigure(shrink);
+  ASSERT_TRUE(tree.InTransition());
+  const uint64_t transition_ios_before = tree.counters().transition_ios;
+
+  tree.Reconfigure(opts);
+  EXPECT_FALSE(tree.InTransition());
+  for (uint64_t k = 0; k < 2000; ++k) tree.Put(k + 50000, k);
+  EXPECT_EQ(tree.counters().transition_ios, transition_ios_before);
+}
+
 TEST(LsmTreeTest, ReconfigureCacheResizeImmediate) {
   sim::Device dev(QuietDevice());
   Options opts = SmallOptions();

@@ -174,7 +174,7 @@ TEST(ParallelEvalTest, ExecuteBatchIdenticalSerialVsParallel) {
                                                      devices.back().get()));
       workload::BulkLoad(trees.back().get(), keys);
       workload::ExecuteJob job;
-      job.tree = trees.back().get();
+      job.engine = trees.back().get();
       job.spec = model::WorkloadSpec{0.25, 0.25, 0.25, 0.25};
       job.config.num_ops = 500;
       job.config.seed = 100 + static_cast<uint64_t>(j);

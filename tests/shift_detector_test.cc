@@ -1,0 +1,106 @@
+// Edge-case coverage for the (p, tau) threshold detector: exact-tau
+// boundaries, partial windows, and first-window semantics. The common
+// cases live in workload_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "workload/shift_detector.h"
+
+namespace camal::workload {
+namespace {
+
+// Feeds `n` ops of one type; returns how many of the calls triggered.
+size_t Feed(ShiftDetector* det, OpType type, size_t n) {
+  size_t triggers = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (det->Record(type)) ++triggers;
+  }
+  return triggers;
+}
+
+TEST(ShiftDetectorEdgeTest, ExactTauDeviationDoesNotTrigger) {
+  // Window 10, tau 0.2. Reference window: all writes (w = 1.0).
+  ShiftDetector det(10, 0.2);
+  EXPECT_EQ(Feed(&det, OpType::kWrite, 10), 1u);  // initial tuning
+
+  // Second window: 8 writes + 2 lookups -> |0.8 - 1.0| == tau exactly.
+  // The detector fires on strict excess only, so this must NOT trigger.
+  size_t triggers = Feed(&det, OpType::kWrite, 8);
+  triggers += Feed(&det, OpType::kNonZeroResultLookup, 2);
+  EXPECT_EQ(triggers, 0u);
+  EXPECT_EQ(det.reconfigurations(), 1u);
+
+  // Third window: 7 writes + 3 lookups -> 0.3 > tau. Must trigger.
+  triggers = Feed(&det, OpType::kWrite, 7);
+  triggers += Feed(&det, OpType::kNonZeroResultLookup, 3);
+  EXPECT_EQ(triggers, 1u);
+  EXPECT_EQ(det.reconfigurations(), 2u);
+}
+
+TEST(ShiftDetectorEdgeTest, PartialWindowNeverTriggers) {
+  // 99 ops into a 100-op window: no boundary, no evaluation — even though
+  // the stream is wildly different from anything seen before.
+  ShiftDetector det(100, 0.0);
+  EXPECT_EQ(Feed(&det, OpType::kWrite, 99), 0u);
+  EXPECT_EQ(det.reconfigurations(), 0u);
+  // The 100th op completes the window and fires the initial tuning.
+  EXPECT_TRUE(det.Record(OpType::kWrite));
+  EXPECT_EQ(det.reconfigurations(), 1u);
+}
+
+TEST(ShiftDetectorEdgeTest, PartialFinalWindowAfterShiftIsInvisible) {
+  ShiftDetector det(50, 0.1);
+  Feed(&det, OpType::kWrite, 50);  // reference: all writes
+  // A drastic shift that never completes a window is never reported, and
+  // LastWindowSpec still describes the last *completed* window.
+  EXPECT_EQ(Feed(&det, OpType::kRangeLookup, 49), 0u);
+  EXPECT_EQ(det.reconfigurations(), 1u);
+  EXPECT_DOUBLE_EQ(det.LastWindowSpec().w, 1.0);
+  EXPECT_DOUBLE_EQ(det.LastWindowSpec().q, 0.0);
+}
+
+TEST(ShiftDetectorEdgeTest, FirstCompletedWindowAlwaysTriggers) {
+  // Even an infinite threshold cannot suppress the initial tuning: there
+  // is no reference yet, so the first boundary must fire.
+  ShiftDetector det(5, 1e9);
+  EXPECT_EQ(Feed(&det, OpType::kNonZeroResultLookup, 4), 0u);
+  EXPECT_TRUE(det.Record(OpType::kNonZeroResultLookup));
+  EXPECT_EQ(det.reconfigurations(), 1u);
+  // ...and with no reference deviation possible afterwards, never again.
+  EXPECT_EQ(Feed(&det, OpType::kWrite, 500), 0u);
+  EXPECT_EQ(det.reconfigurations(), 1u);
+}
+
+TEST(ShiftDetectorEdgeTest, WindowCountsResetAtBoundary) {
+  // Mix fractions must be computed per window, not cumulatively: two
+  // half-write windows followed by an all-lookup window must report the
+  // all-lookup mix exactly.
+  ShiftDetector det(10, 0.3);
+  for (int w = 0; w < 2; ++w) {
+    Feed(&det, OpType::kWrite, 5);
+    Feed(&det, OpType::kZeroResultLookup, 5);
+  }
+  Feed(&det, OpType::kNonZeroResultLookup, 10);
+  EXPECT_DOUBLE_EQ(det.LastWindowSpec().r, 1.0);
+  EXPECT_DOUBLE_EQ(det.LastWindowSpec().w, 0.0);
+  EXPECT_DOUBLE_EQ(det.LastWindowSpec().v, 0.0);
+}
+
+TEST(ShiftDetectorEdgeTest, ReferenceUpdatesOnlyOnTrigger) {
+  // Sub-tau drift must not creep the reference: each window is only 0.08
+  // from its predecessor, but the detector compares against the mix at the
+  // last *reconfiguration*, so the cumulative drift eventually fires.
+  ShiftDetector det(25, 0.1);
+  auto window = [&](size_t writes) {
+    size_t triggers = Feed(&det, OpType::kWrite, writes);
+    triggers += Feed(&det, OpType::kNonZeroResultLookup, 25 - writes);
+    return triggers;
+  };
+  EXPECT_EQ(window(25), 1u);  // reference: w = 1.0
+  EXPECT_EQ(window(23), 0u);  // w = 0.92, drift 0.08 <= tau: quiet
+  EXPECT_EQ(window(21), 1u);  // w = 0.84, drift 0.16 vs *reference*: fires
+  EXPECT_EQ(det.reconfigurations(), 2u);
+}
+
+}  // namespace
+}  // namespace camal::workload
