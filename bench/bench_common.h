@@ -35,14 +35,28 @@ inline size_t& ShardsRef() {
 }
 inline size_t Shards() { return ShardsRef(); }
 
-/// Parses `--threads=N` and `--shards=N` (or space-separated) arguments,
-/// removes them from argv, and configures the process-wide pool / shard
-/// count. Threads: N = 0 selects the hardware concurrency; the default (1)
-/// keeps benches serial, and every result is bit-identical across thread
-/// counts — only wall-clock changes — so benches are free to default
+/// Process-wide intra-engine worker count selected by `--engine-threads=N`
+/// (default 1: serial engines; 0 = hardware). Applied as
+/// `SystemSetup::engine_threads`: every serving engine the Evaluator
+/// builds fans `ExecuteOps` batches across this many workers. Bit-identical
+/// results at any value, like --threads.
+inline int& EngineThreadsRef() {
+  static int engine_threads = 1;
+  return engine_threads;
+}
+inline int EngineThreads() { return EngineThreadsRef(); }
+
+/// Parses `--threads=N`, `--shards=N`, and `--engine-threads=N` (or
+/// space-separated) arguments, removes them from argv, and configures the
+/// process-wide pool / shard count / engine parallelism. Threads: N = 0
+/// selects the hardware concurrency; the default (1) keeps benches serial,
+/// and every result is bit-identical across thread counts — only
+/// wall-clock changes — so benches are free to default
 /// TunerOptions::threads to 0 ("follow the global setting"). Shards: the
 /// number of LSM-tree partitions the serving engine splits each instance
-/// into (changes the measured system, unlike --threads).
+/// into (changes the measured system, unlike --threads). Engine threads:
+/// workers each serving engine fans batched ops across (wall-clock only,
+/// like --threads; pays off when job-level parallelism is exhausted).
 inline int InitBenchThreads(int* argc, char** argv) {
   // Strict numeric parse: garbage or out-of-range must not silently
   // become "all cores" (0) or a truncated value.
@@ -60,6 +74,7 @@ inline int InitBenchThreads(int* argc, char** argv) {
   };
   long threads = 1;
   long shards = 1;
+  long engine_threads = 1;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -80,6 +95,18 @@ inline int InitBenchThreads(int* argc, char** argv) {
       } else {
         std::fprintf(stderr, "[bench] --shards needs a value (>= 1)\n");
       }
+    } else if (std::strncmp(argv[i], "--engine-threads=", 17) == 0) {
+      engine_threads =
+          parse("--engine-threads", argv[i] + 17, 0, 1024, engine_threads);
+    } else if (std::strcmp(argv[i], "--engine-threads") == 0) {
+      if (i + 1 < *argc) {
+        engine_threads =
+            parse("--engine-threads", argv[++i], 0, 1024, engine_threads);
+      } else {
+        std::fprintf(stderr,
+                     "[bench] --engine-threads needs a value (0 = all "
+                     "cores); keeping engines serial\n");
+      }
     } else {
       argv[out++] = argv[i];
     }
@@ -88,12 +115,17 @@ inline int InitBenchThreads(int* argc, char** argv) {
   argv[out] = nullptr;  // keep the argv[argc] == NULL invariant
   util::SetGlobalThreads(static_cast<int>(threads));
   ShardsRef() = static_cast<size_t>(shards);
+  EngineThreadsRef() = static_cast<int>(engine_threads);
   const int resolved = util::GlobalThreads();
   if (resolved > 1) {
     std::printf("[bench] running with %d threads\n", resolved);
   }
   if (shards > 1) {
     std::printf("[bench] serving engines use %ld shards\n", shards);
+  }
+  if (engine_threads != 1) {
+    std::printf("[bench] engines fan batched ops across %ld workers\n",
+                engine_threads);
   }
   return resolved;
 }
@@ -129,6 +161,7 @@ inline std::string TakeJsonFlag(int* argc, char** argv) {
 inline tune::SystemSetup BenchSetup() {
   tune::SystemSetup setup;
   setup.num_shards = Shards();
+  setup.engine_threads = EngineThreads();
   return setup;
 }
 

@@ -1,17 +1,28 @@
-// Sharded multi-tenant serving sweep: throughput and simulated latency of
-// engine::ShardedEngine across shard counts x serving-thread counts.
+// Sharded serving sweep: throughput and simulated latency of
+// engine::ShardedEngine across shard counts x thread counts, in two
+// serving modes:
 //
-// Each cell of the sweep serves T independent tenants (one engine each,
-// S shards per engine) through workload::ExecuteBatch fanned across a
-// T-worker pool — the multi-tenant scenario the StorageEngine boundary
-// opens. Simulated metrics (latency, I/O) are bit-identical at any thread
-// count; wall-clock throughput is what the thread axis measures.
+//   serial — T independent tenants (one engine each, S shards per engine)
+//            fanned across a T-worker pool via workload::ExecuteBatch;
+//            each engine serves its batches serially. Wall-clock scales
+//            with tenants, never with shards (cost = sum over shard
+//            devices inside one caller thread).
+//   async  — the same T tenants served one after another, each engine
+//            fanning its batched ops across a shared pool of the same
+//            `threads` workers (ShardedEngine::ExecuteOps shard fan-out).
+//            Wall-clock scales with min(shards, threads).
+//
+// Total operation count is identical in both modes, and the simulated
+// metrics (latency, I/O) are bit-identical between modes and at any
+// thread count — only wall-clock moves. The async column is the payoff of
+// the batched op pipeline: ops/sec finally improves with shard count.
 //
 // Flags:
 //   --shards=N    largest shard count swept (default 8; swept as 1,2,4,..N)
-//   --threads=N   largest tenant/thread count swept (default 4)
+//   --threads=N   largest tenant/worker count swept (default 4)
 //   --ops=N       operations per tenant (default 4000)
 //   --entries=N   initially loaded entries per tenant (default 8000)
+//   --mode=M      serial | async | both (default both)
 //   --json PATH   also write the sweep as a JSON artifact
 //   --quick       tiny scale for CI smoke
 
@@ -34,6 +45,7 @@ namespace camal::bench {
 namespace {
 
 struct SweepRow {
+  const char* mode = "serial";
   size_t shards = 0;
   size_t threads = 0;
   double wall_ms = 0.0;
@@ -48,9 +60,12 @@ struct SweepConfig {
   size_t max_threads = 4;
   size_t ops_per_tenant = 4000;
   uint64_t entries_per_tenant = 8000;
+  bool run_serial = true;
+  bool run_async = true;
 };
 
-SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads) {
+SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
+                 bool async) {
   tune::SystemSetup setup;
   setup.num_entries = cfg.entries_per_tenant;
   setup.total_memory_bits = 16 * cfg.entries_per_tenant;
@@ -61,12 +76,17 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads) {
 
   // T tenants, each its own engine over its own device(s): jitter streams
   // are derived per tenant so tenants are independent but deterministic.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
   std::vector<std::unique_ptr<engine::ShardedEngine>> tenants;
   std::vector<workload::ExecuteJob> jobs;
   for (size_t t = 0; t < threads; ++t) {
     tenants.push_back(std::make_unique<engine::ShardedEngine>(
         shards, config.ToOptions(setup),
         setup.MakeDeviceConfig(/*salt=*/t)));
+    // Async mode: the engine fans each batch across the shared pool
+    // (shard-level parallelism); tenants then run one at a time.
+    if (async) tenants.back()->set_pool(pool.get());
     workload::BulkLoad(tenants.back().get(), keys);
     workload::ExecuteJob job;
     job.engine = tenants.back().get();
@@ -79,15 +99,22 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads) {
     jobs.push_back(job);
   }
 
-  std::unique_ptr<util::ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
-
   const auto start = std::chrono::steady_clock::now();
-  std::vector<workload::ExecutionResult> results =
-      workload::ExecuteBatch(jobs, pool.get());
+  std::vector<workload::ExecutionResult> results;
+  if (async) {
+    // Tenant-level serial, shard-level parallel.
+    for (const workload::ExecuteJob& job : jobs) {
+      results.push_back(
+          workload::Execute(job.engine, job.spec, job.config, job.keys));
+    }
+  } else {
+    // Tenant-level parallel, shard-level serial.
+    results = workload::ExecuteBatch(jobs, pool.get());
+  }
   const auto stop = std::chrono::steady_clock::now();
 
   SweepRow row;
+  row.mode = async ? "async" : "serial";
   row.shards = shards;
   row.threads = threads;
   row.wall_ms =
@@ -95,7 +122,7 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads) {
   const double total_ops =
       static_cast<double>(cfg.ops_per_tenant) * static_cast<double>(threads);
   row.ops_per_sec = total_ops / (row.wall_ms / 1e3);
-  for (workload::ExecutionResult& r : results) {
+  for (const workload::ExecutionResult& r : results) {
     row.sim_mean_us += r.MeanLatencyNs() / 1e3;
     row.sim_p99_us += r.P99LatencyNs() / 1e3;
     row.sim_ios_per_op += r.IosPerOp();
@@ -123,11 +150,12 @@ void WriteJson(const std::string& path, const SweepConfig& cfg,
   for (size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(f,
-                 "    {\"shards\": %zu, \"threads\": %zu, \"wall_ms\": %.3f, "
-                 "\"ops_per_sec\": %.1f, \"sim_mean_us\": %.3f, "
-                 "\"sim_p99_us\": %.3f, \"sim_ios_per_op\": %.4f}%s\n",
-                 r.shards, r.threads, r.wall_ms, r.ops_per_sec, r.sim_mean_us,
-                 r.sim_p99_us, r.sim_ios_per_op,
+                 "    {\"mode\": \"%s\", \"shards\": %zu, \"threads\": %zu, "
+                 "\"wall_ms\": %.3f, \"ops_per_sec\": %.1f, "
+                 "\"sim_mean_us\": %.3f, \"sim_p99_us\": %.3f, "
+                 "\"sim_ios_per_op\": %.4f}%s\n",
+                 r.mode, r.shards, r.threads, r.wall_ms, r.ops_per_sec,
+                 r.sim_mean_us, r.sim_p99_us, r.sim_ios_per_op,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -137,21 +165,29 @@ void WriteJson(const std::string& path, const SweepConfig& cfg,
 
 void Run(const SweepConfig& cfg, const std::string& json_path) {
   std::printf("Sharded serving engine: %zu ops/tenant over %llu entries, "
-              "mix v/r/q/w = 0.2/0.3/0.2/0.3\n\n",
+              "mix v/r/q/w = 0.2/0.3/0.2/0.3\n"
+              "serial = tenant-parallel, shard-serial; "
+              "async = tenant-serial, shard-parallel (same total ops)\n\n",
               cfg.ops_per_tenant,
               static_cast<unsigned long long>(cfg.entries_per_tenant));
-  std::printf("%7s %8s %9s %11s %12s %11s %8s\n", "shards", "tenants",
-              "wall ms", "ops/sec", "sim mean us", "sim p99 us", "ios/op");
-  PrintRule(72);
+  std::printf("%7s %7s %8s %9s %11s %12s %11s %8s\n", "mode", "shards",
+              "tenants", "wall ms", "ops/sec", "sim mean us", "sim p99 us",
+              "ios/op");
+  PrintRule(80);
 
   std::vector<SweepRow> rows;
-  for (size_t shards = 1; shards <= cfg.max_shards; shards *= 2) {
-    for (size_t threads = 1; threads <= cfg.max_threads; threads *= 2) {
-      const SweepRow row = RunCell(cfg, shards, threads);
-      std::printf("%7zu %8zu %9.1f %11.0f %12.2f %11.2f %8.3f\n", row.shards,
-                  row.threads, row.wall_ms, row.ops_per_sec, row.sim_mean_us,
-                  row.sim_p99_us, row.sim_ios_per_op);
-      rows.push_back(row);
+  for (int async = 0; async <= 1; ++async) {
+    if (async == 0 && !cfg.run_serial) continue;
+    if (async == 1 && !cfg.run_async) continue;
+    for (size_t shards = 1; shards <= cfg.max_shards; shards *= 2) {
+      for (size_t threads = 1; threads <= cfg.max_threads; threads *= 2) {
+        const SweepRow row = RunCell(cfg, shards, threads, async == 1);
+        std::printf("%7s %7zu %8zu %9.1f %11.0f %12.2f %11.2f %8.3f\n",
+                    row.mode, row.shards, row.threads, row.wall_ms,
+                    row.ops_per_sec, row.sim_mean_us, row.sim_p99_us,
+                    row.sim_ios_per_op);
+        rows.push_back(row);
+      }
     }
   }
   if (!json_path.empty()) WriteJson(json_path, cfg, rows);
@@ -199,6 +235,17 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--entries=", 10) == 0) {
       if (!parse_count("--entries", argv[i] + 10, &value)) return 1;
       cfg.entries_per_tenant = value;
+    } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      const char* mode = argv[i] + 7;
+      if (std::strcmp(mode, "serial") == 0) {
+        cfg.run_async = false;
+      } else if (std::strcmp(mode, "async") == 0) {
+        cfg.run_serial = false;
+      } else if (std::strcmp(mode, "both") != 0) {
+        std::fprintf(stderr,
+                     "invalid --mode value '%s' (serial|async|both)\n", mode);
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;

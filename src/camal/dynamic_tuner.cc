@@ -60,56 +60,53 @@ workload::ExecutionResult DynamicTuner::RunPhase(
   gen_cfg.scan_len = base_setup_.scan_len;
   gen_cfg.insert_new_keys = true;  // data grows across phases
   workload::OperationGenerator gen(spec, keys, gen_cfg, seed);
-  std::vector<lsm::Entry> scan_buf;
 
-  for (size_t i = 0; i < num_ops; ++i) {
-    const workload::Operation op = gen.Next();
-    // Point ops charge one shard only; price them off that shard's device
-    // (identical delta, no per-op sum over all shard devices).
-    const bool point_op = op.type != workload::OpType::kRangeLookup;
-    const size_t home = point_op ? engine->ShardIndex(op.key) : 0;
-    const sim::DeviceSnapshot before = point_op
-                                           ? engine->ShardCostSnapshot(home)
-                                           : engine->CostSnapshot();
-    switch (op.type) {
-      case workload::OpType::kZeroResultLookup:
-      case workload::OpType::kNonZeroResultLookup: {
-        uint64_t value = 0;
-        if (engine->Get(op.key, &value)) {
-          ++result.lookups_found;
-        } else {
-          ++result.lookups_missed;
+  // The stream executes through the engine's batched pipeline. Detector
+  // state depends only on operation *types*, so firings are computed at
+  // generation time; a batch is cut exactly at the op whose recording
+  // fires a detector, the pending ops execute, and the fired shards are
+  // retuned before any later op runs — the same execute-record-retune
+  // order as op-at-a-time serving, with each shard's retune observing the
+  // shard's true local scale at that point of the stream.
+  constexpr size_t kMaxBatch = 512;
+  std::vector<workload::Operation> pending;
+  std::vector<engine::Op> ops;
+  std::vector<engine::OpResult> op_results;
+  // Shards whose detector fired at the batch-ending op: one home shard for
+  // a point op, any subset (in shard order) for a scan, which every
+  // detector records.
+  std::vector<size_t> fired;
+
+  size_t done = 0;
+  while (done < num_ops) {
+    pending.clear();
+    fired.clear();
+    while (done + pending.size() < num_ops && pending.size() < kMaxBatch) {
+      const workload::Operation op = gen.Next();
+      pending.push_back(op);
+      if (op.type != workload::OpType::kRangeLookup) {
+        const size_t home = engine->ShardIndex(op.key);
+        if (detectors_[home].Record(op.type)) fired.push_back(home);
+      } else {
+        for (size_t s = 0; s < detectors_.size(); ++s) {
+          if (detectors_[s].Record(op.type)) fired.push_back(s);
         }
-        break;
       }
-      case workload::OpType::kRangeLookup:
-        scan_buf.clear();
-        engine->Scan(op.key, op.scan_len, &scan_buf);
-        break;
-      case workload::OpType::kWrite:
-        engine->Put(op.key, op.value);
-        break;
-      case workload::OpType::kDelete:
-        engine->Delete(op.key);
-        break;
+      if (!fired.empty()) break;
     }
-    const sim::DeviceSnapshot after = point_op
-                                          ? engine->ShardCostSnapshot(home)
-                                          : engine->CostSnapshot();
-    const sim::DeviceSnapshot delta = after.Delta(before);
-    result.latency_ns.Add(delta.elapsed_ns);
-    result.total_ns += delta.elapsed_ns;
-    result.total_ios += delta.TotalIos();
 
-    // Feed the detector(s) of the shard(s) that served the operation:
-    // point ops route to one shard, range lookups fan out to all.
-    if (point_op) {
-      if (detectors_[home].Record(op.type)) RetuneShard(engine, home, spec);
-    } else {
-      for (size_t s = 0; s < detectors_.size(); ++s) {
-        if (detectors_[s].Record(op.type)) RetuneShard(engine, s, spec);
-      }
+    ops.clear();
+    for (const workload::Operation& op : pending) {
+      ops.push_back(workload::ToEngineOp(op));
     }
+    op_results.resize(ops.size());
+    engine->ExecuteOps(ops.data(), ops.size(), op_results.data());
+    for (size_t i = 0; i < pending.size(); ++i) {
+      workload::AccumulateOpResult(pending[i].type, op_results[i], &result);
+    }
+    done += pending.size();
+
+    for (size_t s : fired) RetuneShard(engine, s, spec);
   }
   result.num_ops = num_ops;
   return result;

@@ -40,9 +40,11 @@ class DynamicTuner {
   DynamicTuner(RecommendFn recommend, const SystemSetup& base_setup,
                const Params& params);
 
-  /// Runs `num_ops` operations of `spec` against `engine`, reconfiguring
-  /// any shard whose detector fires. Writes insert new keys so the data
-  /// set grows across phases.
+  /// Runs `num_ops` operations of `spec` against `engine` through the
+  /// batched `ExecuteOps` pipeline (batches are cut at detector firings so
+  /// retunes land at exactly the op they would under op-at-a-time
+  /// serving), reconfiguring any shard whose detector fires. Writes insert
+  /// new keys so the data set grows across phases.
   workload::ExecutionResult RunPhase(engine::StorageEngine* engine,
                                      workload::KeySpace* keys,
                                      const model::WorkloadSpec& spec,

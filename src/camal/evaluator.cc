@@ -12,6 +12,14 @@ namespace camal::tune {
 
 using util::HashCombine;
 
+Evaluator::Evaluator(const SystemSetup& setup) : setup_(setup) {
+  // A pool only pays off when there are shards to fan across: with one
+  // shard every ExecuteOps batch is a single sub-list and runs inline.
+  if (setup_.engine_threads != 1 && setup_.num_shards > 1) {
+    engine_pool_ = std::make_shared<util::ThreadPool>(setup_.engine_threads);
+  }
+}
+
 Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
                                const TuningConfig& config, size_t num_ops,
                                uint64_t salt) const {
@@ -22,6 +30,7 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
   engine::ShardedEngine eng(std::max<size_t>(1, setup_.num_shards),
                             config.ToOptions(setup_),
                             setup_.MakeDeviceConfig(salt));
+  eng.set_pool(engine_pool_.get());
   workload::BulkLoad(&eng, keys);
   // Phase-randomizing warmup: a salt-dependent burst of updates so each
   // measurement samples a different compaction-fullness phase. Without it,

@@ -2,6 +2,7 @@
 #define CAMAL_CAMAL_EVALUATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "camal/sample.h"
@@ -47,7 +48,13 @@ struct EvalJob {
 /// changing any result.
 class Evaluator {
  public:
-  explicit Evaluator(const SystemSetup& setup) : setup_(setup) {}
+  /// When `setup.engine_threads` != 1, the evaluator owns a worker pool
+  /// that every engine it builds fans `ExecuteOps` batches across
+  /// (shard-level parallelism). Measurements fanned across a *job-level*
+  /// pool are unaffected: nested engine fan-out runs inline on pool
+  /// workers, so the knob buys wall-clock exactly when job-level
+  /// parallelism is exhausted. Results are bit-identical either way.
+  explicit Evaluator(const SystemSetup& setup);
 
   /// Builds a fresh tree with `config`, ingests N entries, runs `num_ops`
   /// operations of `workload`, and reports the measurements. `salt`
@@ -81,8 +88,14 @@ class Evaluator {
 
   const SystemSetup& setup() const { return setup_; }
 
+  /// The engine-level pool (nullptr when `engine_threads` == 1).
+  util::ThreadPool* engine_pool() const { return engine_pool_.get(); }
+
  private:
   SystemSetup setup_;
+  /// Shared so the Evaluator stays copyable (tuners copy their setup's
+  /// evaluator); engines only borrow the pointer for one measurement.
+  std::shared_ptr<util::ThreadPool> engine_pool_;
 };
 
 }  // namespace camal::tune

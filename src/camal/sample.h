@@ -42,6 +42,16 @@ struct SystemSetup {
   /// many shards; the tuning space (memory, T, policy) still describes the
   /// *total* system budget.
   size_t num_shards = 1;
+  /// Intra-engine parallelism: workers the serving engine fans per-shard
+  /// sub-batches (and scatter-gather scan probes) across inside
+  /// `ExecuteOps`. 1 = serial (default), 0 = all hardware threads.
+  /// Results are bit-identical at any value; only wall-clock changes.
+  /// Complements job-level parallelism (`TunerOptions::threads`): batched
+  /// sampling fanned across a pool already saturates the machine, so
+  /// nested engine fan-out runs inline there — this knob buys wall-clock
+  /// when job-level parallelism is exhausted (e.g. a single final
+  /// Evaluate, or the dynamic tuner driving one big sharded engine).
+  int engine_threads = 1;
 
   /// The closed-form model's view of this setup.
   model::SystemParams ToModelParams() const;

@@ -5,6 +5,7 @@
 
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace camal::engine {
 
@@ -57,6 +58,16 @@ bool ShardedEngine::Get(uint64_t key, uint64_t* value) {
   return shards_[ShardIndex(key)].tree->Get(key, value);
 }
 
+void ShardedEngine::ScatterScan(uint64_t start_key, size_t max_entries,
+                                std::vector<std::vector<lsm::Entry>>* slices) {
+  // Each probe touches only its own shard's tree and device, so the fan-out
+  // is deterministic: shard-local cost is independent of scheduling.
+  slices->assign(shards_.size(), {});
+  util::ParallelFor(pool_, 0, shards_.size(), [&](size_t s) {
+    shards_[s].tree->Scan(start_key, max_entries, &(*slices)[s]);
+  });
+}
+
 size_t ShardedEngine::Scan(uint64_t start_key, size_t max_entries,
                            std::vector<lsm::Entry>* out) {
   if (shards_.size() == 1) {
@@ -66,10 +77,8 @@ size_t ShardedEngine::Scan(uint64_t start_key, size_t max_entries,
 
   // Scatter: each shard contributes up to max_entries of its own sorted,
   // live entries (keys are hash-partitioned, so shard slices are disjoint).
-  std::vector<std::vector<lsm::Entry>> slices(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    shards_[s].tree->Scan(start_key, max_entries, &slices[s]);
-  }
+  std::vector<std::vector<lsm::Entry>> slices;
+  ScatterScan(start_key, max_entries, &slices);
 
   // Gather: k-way merge of the disjoint sorted slices. Shard count is
   // small, so a linear min-scan beats a heap here.
@@ -93,6 +102,107 @@ size_t ShardedEngine::Scan(uint64_t start_key, size_t max_entries,
   return added;
 }
 
+void ShardedEngine::ExecuteOps(const Op* ops, size_t count,
+                               OpResult* results) {
+  if (count == 0) return;
+  const size_t num_shards = shards_.size();
+
+  // Partition the batch into per-shard operation lists in submission
+  // order: point ops go to their routed shard, a scan probe appears in
+  // every shard's list. Each shard's list is exactly the op subsequence
+  // that shard would serve under serial execution, so running the lists
+  // concurrently (shard state — tree, device, jitter stream — is fully
+  // shard-local) reproduces the serial results bit-for-bit with no
+  // barrier inside the batch.
+  std::vector<std::vector<size_t>> lists(num_shards);
+  std::vector<size_t> scan_slot(count, 0);
+  std::vector<size_t> scan_op;
+  for (size_t i = 0; i < count; ++i) {
+    if (ops[i].kind == OpKind::kScan) {
+      scan_slot[i] = scan_op.size();
+      scan_op.push_back(i);
+      for (size_t s = 0; s < num_shards; ++s) lists[s].push_back(i);
+    } else {
+      lists[ShardIndex(ops[i].key)].push_back(i);
+    }
+  }
+
+  // Per-(scan, shard) probe bookkeeping, indexed slot * num_shards + s so
+  // concurrent writers touch disjoint elements. Snapshots (not deltas) are
+  // recorded so the merge below can reproduce the historical "sum the
+  // devices, then diff the totals" floating-point arithmetic exactly.
+  const size_t num_scans = scan_op.size();
+  std::vector<sim::DeviceSnapshot> scan_before(num_scans * num_shards);
+  std::vector<sim::DeviceSnapshot> scan_after(num_scans * num_shards);
+  std::vector<size_t> scan_counts(num_scans * num_shards, 0);
+
+  std::vector<size_t> active;
+  active.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!lists[s].empty()) active.push_back(s);
+  }
+
+  util::ParallelFor(pool_, 0, active.size(), [&](size_t a) {
+    const size_t s = active[a];
+    lsm::LsmTree* tree = shards_[s].tree.get();
+    sim::Device* dev = shards_[s].device.get();
+    std::vector<lsm::Entry> scratch;
+    for (size_t i : lists[s]) {
+      const Op& op = ops[i];
+      if (op.kind == OpKind::kScan) {
+        const size_t slot = scan_slot[i] * num_shards + s;
+        scratch.clear();
+        scan_before[slot] = dev->Snapshot();
+        scan_counts[slot] = tree->Scan(op.key, op.scan_len, &scratch);
+        scan_after[slot] = dev->Snapshot();
+        continue;
+      }
+      OpResult r;
+      const sim::DeviceSnapshot before = dev->Snapshot();
+      switch (op.kind) {
+        case OpKind::kGet: {
+          uint64_t value = 0;
+          r.found = tree->Get(op.key, &value);
+          break;
+        }
+        case OpKind::kPut:
+          tree->Put(op.key, op.value);
+          break;
+        case OpKind::kDelete:
+          tree->Delete(op.key);
+          break;
+        case OpKind::kScan:
+          break;  // handled above
+      }
+      const sim::DeviceSnapshot delta = dev->Snapshot().Delta(before);
+      r.latency_ns = delta.elapsed_ns;
+      r.ios = delta.TotalIos();
+      results[i] = r;
+    }
+  });
+
+  // Deterministic gather for the scans: sum the per-shard snapshots in
+  // shard order, diff the totals (the serial-equivalent cost — the same
+  // bits the old caller-side CostSnapshot() diff produced), and cap the
+  // combined hit count at the probe limit.
+  for (size_t slot = 0; slot < num_scans; ++slot) {
+    sim::DeviceSnapshot total_before, total_after;
+    size_t hits = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      total_before += scan_before[slot * num_shards + s];
+      total_after += scan_after[slot * num_shards + s];
+      hits += scan_counts[slot * num_shards + s];
+    }
+    const sim::DeviceSnapshot delta = total_after.Delta(total_before);
+    const size_t i = scan_op[slot];
+    OpResult r;
+    r.latency_ns = delta.elapsed_ns;
+    r.ios = delta.TotalIos();
+    r.scan_hits = std::min(ops[i].scan_len, hits);
+    results[i] = r;
+  }
+}
+
 void ShardedEngine::FlushMemtable() {
   for (Shard& shard : shards_) shard.tree->FlushMemtable();
 }
@@ -111,18 +221,8 @@ void ShardedEngine::ReconfigureShard(size_t shard,
 
 sim::DeviceSnapshot ShardedEngine::CostSnapshot() const {
   sim::DeviceSnapshot total;
-  for (const Shard& shard : shards_) {
-    const sim::DeviceSnapshot s = shard.device->Snapshot();
-    total.block_reads += s.block_reads;
-    total.block_writes += s.block_writes;
-    total.elapsed_ns += s.elapsed_ns;
-  }
+  for (const Shard& shard : shards_) total += shard.device->Snapshot();
   return total;
-}
-
-sim::DeviceSnapshot ShardedEngine::ShardCostSnapshot(size_t shard) const {
-  CAMAL_CHECK(shard < shards_.size());
-  return shards_[shard].device->Snapshot();
 }
 
 EngineCounters ShardedEngine::AggregateCounters() const {

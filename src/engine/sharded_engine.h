@@ -9,6 +9,10 @@
 #include "lsm/lsm_tree.h"
 #include "sim/device.h"
 
+namespace camal::util {
+class ThreadPool;
+}  // namespace camal::util
+
 namespace camal::engine {
 
 /// N independent `lsm::LsmTree` shards behind a deterministic hash
@@ -21,6 +25,13 @@ namespace camal::engine {
 /// globally sorted result. `Reconfigure` re-divides a new total budget;
 /// `ReconfigureShard` retunes one shard independently (the dynamic tuner's
 /// per-shard path).
+///
+/// `ExecuteOps` is the async serving path: each batch is partitioned into
+/// per-shard operation lists (a scan probe appears in every shard's list),
+/// the lists run concurrently on `pool()` workers with intra-shard order
+/// preserved, and per-op results are merged back into submission order.
+/// Because every shard owns its device (including its jitter stream), the
+/// results are bit-identical to serial execution at any thread count.
 ///
 /// With one shard the engine is bit-identical to driving the tree
 /// directly: shard 0 uses the caller's device config verbatim (including
@@ -44,6 +55,13 @@ class ShardedEngine : public StorageEngine {
   bool Get(uint64_t key, uint64_t* value) override;
   size_t Scan(uint64_t start_key, size_t max_entries,
               std::vector<lsm::Entry>* out) override;
+
+  /// Batched execution with concurrent per-shard sub-batches (serial when
+  /// no pool is attached). Deterministic: bit-identical results for any
+  /// `pool()` value.
+  void ExecuteOps(const Op* ops, size_t count, OpResult* results) override;
+  using StorageEngine::ExecuteOps;
+
   void FlushMemtable() override;
 
   /// Divides `new_total_options`'s memory budget across shards and
@@ -57,13 +75,18 @@ class ShardedEngine : public StorageEngine {
   size_t ShardIndex(uint64_t key) const override;
 
   sim::DeviceSnapshot CostSnapshot() const override;
-  sim::DeviceSnapshot ShardCostSnapshot(size_t shard) const override;
   EngineCounters AggregateCounters() const override;
 
   uint64_t TotalEntries() const override;
   uint64_t DiskEntries() const override;
   uint64_t ShardEntries(size_t shard) const override;
   bool InTransition() const override;
+
+  /// Attaches (or detaches, with nullptr) the worker pool `ExecuteOps` and
+  /// `Scan` fan shard-local work across. Not owned; must outlive its use.
+  /// No pool — and any call made from inside a pool worker — runs inline.
+  void set_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* pool() const { return pool_; }
 
   /// Direct shard access (tests, per-shard inspection).
   lsm::LsmTree* shard(size_t i) { return shards_[i].tree.get(); }
@@ -81,7 +104,14 @@ class ShardedEngine : public StorageEngine {
     std::unique_ptr<sim::Device> device;
     std::unique_ptr<lsm::LsmTree> tree;
   };
+
+  /// Range-probes every shard concurrently; slices[s] receives shard s's
+  /// up-to-max_entries sorted live entries with key >= start_key.
+  void ScatterScan(uint64_t start_key, size_t max_entries,
+                   std::vector<std::vector<lsm::Entry>>* slices);
+
   std::vector<Shard> shards_;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace camal::engine

@@ -1,0 +1,39 @@
+#include "engine/storage_engine.h"
+
+namespace camal::engine {
+
+void StorageEngine::ExecuteOps(const Op* ops, size_t count,
+                               OpResult* results) {
+  // Serial reference path: execute in submission order and price every op
+  // by diffing the engine-wide cost snapshot around it. Single-device
+  // engines (lsm::LsmTree) serve the batched pipeline through this.
+  std::vector<lsm::Entry> scan_buf;
+  for (size_t i = 0; i < count; ++i) {
+    const Op& op = ops[i];
+    OpResult r;
+    const sim::DeviceSnapshot before = CostSnapshot();
+    switch (op.kind) {
+      case OpKind::kGet: {
+        uint64_t value = 0;
+        r.found = Get(op.key, &value);
+        break;
+      }
+      case OpKind::kPut:
+        Put(op.key, op.value);
+        break;
+      case OpKind::kDelete:
+        Delete(op.key);
+        break;
+      case OpKind::kScan:
+        scan_buf.clear();
+        r.scan_hits = Scan(op.key, op.scan_len, &scan_buf);
+        break;
+    }
+    const sim::DeviceSnapshot delta = CostSnapshot().Delta(before);
+    r.latency_ns = delta.elapsed_ns;
+    r.ios = delta.TotalIos();
+    results[i] = r;
+  }
+}
+
+}  // namespace camal::engine

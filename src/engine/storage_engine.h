@@ -34,17 +34,65 @@ struct EngineCounters {
   }
 };
 
+/// The operation kinds of the batched request pipeline. The workload layer
+/// distinguishes zero- from non-zero-result lookups when it *generates*
+/// operations; by the time an op reaches the engine both are a `kGet`.
+enum class OpKind : uint8_t {
+  kGet,
+  kPut,
+  kDelete,
+  kScan,
+};
+
+/// One operation of a batch submitted to `StorageEngine::ExecuteOps`.
+struct Op {
+  OpKind kind = OpKind::kGet;
+  uint64_t key = 0;
+  /// Payload for kPut.
+  uint64_t value = 0;
+  /// Maximum entries for kScan.
+  size_t scan_len = 0;
+};
+
+/// Per-operation outcome and cost, attributed by the engine itself: the
+/// simulated time and I/O the operation consumed on the device(s) it
+/// touched. Callers no longer price operations by diffing engine-wide
+/// cost snapshots around each call.
+struct OpResult {
+  /// Simulated latency of this operation (serial-equivalent: a scan that
+  /// probes N shard devices costs the sum of the probes).
+  double latency_ns = 0.0;
+  /// Blocks read + written by this operation.
+  uint64_t ios = 0;
+  /// kGet: whether the key was live.
+  bool found = false;
+  /// kScan: how many entries the range probe produced. Batched scans
+  /// report counts and costs only; use `Scan` directly when the entries
+  /// themselves are needed.
+  size_t scan_hits = 0;
+};
+
 /// Abstract key-value serving engine — the boundary between the execution
 /// stack (workload::Execute, tune::Evaluator, tune::DynamicTuner) and a
 /// concrete storage backend. `lsm::LsmTree` implements it directly (one
 /// tree, one device); `ShardedEngine` composes N trees behind a hash
-/// partitioner. Later backends (async shard I/O, a real-device engine)
-/// slot in behind the same surface.
+/// partitioner. Later backends (a real-device engine) slot in behind the
+/// same surface.
 ///
-/// Simulated cost accounting flows through `CostSnapshot()`: callers diff
-/// two snapshots around an operation to price it, exactly as they would
-/// diff a single `sim::Device`. Multi-device engines report the *sum* over
-/// their devices, i.e. the serial-equivalent simulated time.
+/// The serving hot path is `ExecuteOps`: the caller submits a batch and
+/// receives one `OpResult` per op, in submission order, with per-op
+/// simulated cost attributed by the engine. The base implementation runs
+/// the batch serially and prices each op by diffing `CostSnapshot()`
+/// (exactly what callers historically did); `ShardedEngine` overrides it
+/// to execute shard-local sub-batches concurrently while producing
+/// bit-identical results. `CostSnapshot()` remains for whole-window
+/// accounting (e.g. pricing an ingest phase). Multi-device engines report
+/// the *sum* over their devices, i.e. the serial-equivalent simulated
+/// time.
+///
+/// Engines are externally synchronized: callers must not invoke two
+/// methods concurrently on the same engine. Any parallelism (shard
+/// fan-out) happens *inside* `ExecuteOps`.
 class StorageEngine {
  public:
   virtual ~StorageEngine() = default;
@@ -64,6 +112,20 @@ class StorageEngine {
   /// many were added.
   virtual size_t Scan(uint64_t start_key, size_t max_entries,
                       std::vector<lsm::Entry>* out) = 0;
+
+  /// Executes `count` operations in submission order, writing one result
+  /// per op to `results[0..count)`. The base implementation runs serially;
+  /// overrides may execute independent sub-streams concurrently but must
+  /// preserve per-key ordering and produce results bit-identical to the
+  /// serial execution.
+  virtual void ExecuteOps(const Op* ops, size_t count, OpResult* results);
+
+  /// Convenience wrapper over the pointer form.
+  std::vector<OpResult> ExecuteOps(const std::vector<Op>& ops) {
+    std::vector<OpResult> results(ops.size());
+    ExecuteOps(ops.data(), ops.size(), results.data());
+    return results;
+  }
 
   /// Forces buffered writes to disk (no-op when empty).
   virtual void FlushMemtable() = 0;
@@ -95,17 +157,9 @@ class StorageEngine {
   // --- Cost accounting --------------------------------------------------
 
   /// Point-in-time aggregate of simulated I/O + time across the engine's
-  /// devices. Diff two snapshots to price an operation window.
+  /// devices. Diff two snapshots to price a whole execution window (per-op
+  /// costs come from `ExecuteOps` instead).
   virtual sim::DeviceSnapshot CostSnapshot() const = 0;
-
-  /// Cost snapshot of one shard's device. A point operation only charges
-  /// its routed shard, so callers can price it by diffing this instead of
-  /// summing every device (the deltas are identical; scans, which touch
-  /// all shards, must diff the full `CostSnapshot`).
-  virtual sim::DeviceSnapshot ShardCostSnapshot(size_t shard) const {
-    CAMAL_CHECK(shard == 0);
-    return CostSnapshot();
-  }
 
   /// Aggregate compaction/flush counters.
   virtual EngineCounters AggregateCounters() const = 0;

@@ -3,20 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/random.h"
+
 namespace camal::lsm {
 
 namespace {
 constexpr double kLn2 = 0.6931471805599453;
 constexpr double kMinUsefulBpk = 0.5;
 
-uint64_t Mix64(uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
-}
+using util::Fmix64;
 }  // namespace
 
 BloomFilter::BloomFilter(size_t num_entries, double bits_per_key) {
@@ -33,8 +28,8 @@ BloomFilter::BloomFilter(size_t num_entries, double bits_per_key) {
 
 void BloomFilter::Add(uint64_t key) {
   if (absent()) return;
-  uint64_t h1 = Mix64(key);
-  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  uint64_t h1 = Fmix64(key);
+  const uint64_t h2 = Fmix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
   for (int i = 0; i < num_hashes_; ++i) {
     const size_t bit = h1 % num_bits_;
     words_[bit >> 6] |= (1ULL << (bit & 63));
@@ -44,8 +39,8 @@ void BloomFilter::Add(uint64_t key) {
 
 bool BloomFilter::MayContain(uint64_t key) const {
   if (absent()) return true;
-  uint64_t h1 = Mix64(key);
-  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  uint64_t h1 = Fmix64(key);
+  const uint64_t h2 = Fmix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
   for (int i = 0; i < num_hashes_; ++i) {
     const size_t bit = h1 % num_bits_;
     if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;

@@ -26,6 +26,10 @@ using TreeCounters = engine::EngineCounters;
 /// and SST-file-size extension knobs, and lazy online reconfiguration
 /// (the DLSM design of Section 6): `Reconfigure` updates the target shape
 /// and the structure converges through subsequent natural compactions.
+///
+/// The batched `ExecuteOps` pipeline is served by the base class's serial
+/// implementation (one tree, one device — per-op costs are plain device
+/// snapshot deltas); `engine::ShardedEngine` is the parallel override.
 class LsmTree : public engine::StorageEngine {
  public:
   /// `device` must outlive the tree; all simulated cost is charged there.

@@ -61,6 +61,12 @@ struct DeviceSnapshot {
                           block_writes - earlier.block_writes,
                           elapsed_ns - earlier.elapsed_ns};
   }
+  DeviceSnapshot& operator+=(const DeviceSnapshot& other) {
+    block_reads += other.block_reads;
+    block_writes += other.block_writes;
+    elapsed_ns += other.elapsed_ns;
+    return *this;
+  }
   uint64_t TotalIos() const { return block_reads + block_writes; }
 };
 

@@ -22,6 +22,20 @@ inline uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// MurmurHash3 fmix64 finalizer — the second shared mixer. The Bloom
+/// filters double-hash through this one; keeping it distinct from `Mix64`
+/// means a shard's Bloom bit patterns are decorrelated from the shard
+/// routing that `Mix64` decides (and its constants must not change: Bloom
+/// hashes are part of the repository's bit-reproducible results).
+inline uint64_t Fmix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
 /// Deterministic, seedable pseudo-random generator (xoshiro256**).
 ///
 /// All randomness in the repository flows through this class so experiments

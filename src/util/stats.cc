@@ -26,7 +26,7 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-double PercentileSketch::Quantile(double q) {
+double PercentileSketch::Quantile(double q) const {
   if (values_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());

@@ -38,15 +38,17 @@ class PercentileSketch {
   void Add(double x) { values_.push_back(x); sorted_ = false; }
 
   /// q in [0, 1]; e.g. Quantile(0.9) is the 90th percentile. Returns 0 when
-  /// empty.
-  double Quantile(double q);
+  /// empty. Logically const: the sort performed on the first query after an
+  /// Add is cached behind `mutable` state, so concurrent const queries on
+  /// the same sketch are NOT safe (query from one thread at a time).
+  double Quantile(double q) const;
 
   double Mean() const;
   size_t count() const { return values_.size(); }
 
  private:
-  std::vector<double> values_;
-  bool sorted_ = false;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
 };
 
 }  // namespace camal::util

@@ -1,59 +1,83 @@
 #include "workload/executor.h"
 
+#include <algorithm>
 #include <vector>
 
-#include "lsm/entry.h"
 #include "util/thread_pool.h"
 
 namespace camal::workload {
+
+engine::Op ToEngineOp(const Operation& op) {
+  engine::Op out;
+  out.key = op.key;
+  switch (op.type) {
+    case OpType::kZeroResultLookup:
+    case OpType::kNonZeroResultLookup:
+      out.kind = engine::OpKind::kGet;
+      break;
+    case OpType::kRangeLookup:
+      out.kind = engine::OpKind::kScan;
+      out.scan_len = op.scan_len;
+      break;
+    case OpType::kWrite:
+      out.kind = engine::OpKind::kPut;
+      out.value = op.value;
+      break;
+    case OpType::kDelete:
+      out.kind = engine::OpKind::kDelete;
+      break;
+  }
+  return out;
+}
+
+void AccumulateOpResult(OpType type, const engine::OpResult& result,
+                        ExecutionResult* out) {
+  if (type == OpType::kZeroResultLookup ||
+      type == OpType::kNonZeroResultLookup) {
+    if (result.found) {
+      ++out->lookups_found;
+    } else {
+      ++out->lookups_missed;
+    }
+  }
+  out->latency_ns.Add(result.latency_ns);
+  out->total_ns += result.latency_ns;
+  out->total_ios += result.ios;
+}
 
 ExecutionResult Execute(engine::StorageEngine* engine,
                         const model::WorkloadSpec& spec,
                         const ExecutorConfig& config, KeySpace* keys) {
   ExecutionResult result;
   OperationGenerator gen(spec, keys, config.generator, config.seed);
-  std::vector<lsm::Entry> scan_buf;
 
-  for (size_t i = 0; i < config.num_ops; ++i) {
-    const Operation op = gen.Next();
-    // Point ops charge exactly one shard, so price them off that shard's
-    // device alone; scans fan out and need the aggregate snapshot. The
-    // deltas are identical either way — this only avoids summing every
-    // shard device twice per op in the measurement hot loop.
-    const bool point_op = op.type != OpType::kRangeLookup;
-    const size_t shard = point_op ? engine->ShardIndex(op.key) : 0;
-    const sim::DeviceSnapshot before = point_op
-                                           ? engine->ShardCostSnapshot(shard)
-                                           : engine->CostSnapshot();
-    switch (op.type) {
-      case OpType::kZeroResultLookup:
-      case OpType::kNonZeroResultLookup: {
-        uint64_t value = 0;
-        if (engine->Get(op.key, &value)) {
-          ++result.lookups_found;
-        } else {
-          ++result.lookups_missed;
-        }
-        break;
-      }
-      case OpType::kRangeLookup:
-        scan_buf.clear();
-        engine->Scan(op.key, op.scan_len, &scan_buf);
-        break;
-      case OpType::kWrite:
-        engine->Put(op.key, op.value);
-        break;
-      case OpType::kDelete:
-        engine->Delete(op.key);
-        break;
+  // Generation is inherently serial (the generator's RNG — and, with
+  // insert_new_keys, the key space — advances op by op) but independent of
+  // execution, so the stream is produced in micro-batches that the engine
+  // executes through its batched pipeline. Batch boundaries never affect
+  // results; they only bound the working set and set the fan-out grain.
+  const size_t batch = std::max<size_t>(1, config.batch_ops);
+  std::vector<Operation> pending;
+  std::vector<engine::Op> ops;
+  std::vector<engine::OpResult> op_results;
+  pending.reserve(batch);
+  ops.reserve(batch);
+
+  size_t remaining = config.num_ops;
+  while (remaining > 0) {
+    const size_t n = std::min(batch, remaining);
+    pending.clear();
+    ops.clear();
+    for (size_t i = 0; i < n; ++i) {
+      pending.push_back(gen.Next());
+      ops.push_back(ToEngineOp(pending.back()));
     }
-    const sim::DeviceSnapshot after = point_op
-                                          ? engine->ShardCostSnapshot(shard)
-                                          : engine->CostSnapshot();
-    const sim::DeviceSnapshot delta = after.Delta(before);
-    result.latency_ns.Add(delta.elapsed_ns);
-    result.total_ns += delta.elapsed_ns;
-    result.total_ios += delta.TotalIos();
+    op_results.resize(n);
+    engine->ExecuteOps(ops.data(), n, op_results.data());
+    for (size_t i = 0; i < n; ++i) {
+      AccumulateOpResult(pending[i].type, op_results[i], &result);
+    }
+    remaining -= n;
   }
   result.num_ops = config.num_ops;
   return result;

@@ -20,6 +20,11 @@ struct ExecutorConfig {
   size_t num_ops = 2000;
   GeneratorConfig generator;
   uint64_t seed = 1;
+  /// Operations submitted per `StorageEngine::ExecuteOps` batch. Purely a
+  /// pipeline granularity knob: results are bit-identical for any value
+  /// >= 1. Larger batches give a sharded engine more work to fan across
+  /// its pool between merge points.
+  size_t batch_ops = 512;
 };
 
 /// What a workload run measured.
@@ -39,15 +44,27 @@ struct ExecutionResult {
                         : static_cast<double>(total_ios) /
                               static_cast<double>(num_ops);
   }
-  /// Tail latencies from the per-operation sketch (sorts on first call).
-  double P90LatencyNs() { return latency_ns.Quantile(0.90); }
-  double P99LatencyNs() { return latency_ns.Quantile(0.99); }
+  /// Tail latencies from the per-operation sketch.
+  double P90LatencyNs() const { return latency_ns.Quantile(0.90); }
+  double P99LatencyNs() const { return latency_ns.Quantile(0.99); }
 };
 
-/// Runs `config.num_ops` operations drawn from `spec` against `engine`,
-/// measuring per-operation simulated latency and I/O through the engine's
-/// cost snapshots. Any StorageEngine works: a bare `lsm::LsmTree` or an
-/// `engine::ShardedEngine`.
+/// Translates a generated workload operation into the engine's batched op
+/// representation (the zero-/non-zero-result lookup distinction collapses
+/// to kGet; the engine does not care which kind of lookup it serves).
+engine::Op ToEngineOp(const Operation& op);
+
+/// Folds one engine-attributed operation result into the aggregate,
+/// crediting found/missed for lookups. `type` must be the OpType the
+/// result's op was generated as.
+void AccumulateOpResult(OpType type, const engine::OpResult& result,
+                        ExecutionResult* out);
+
+/// Runs `config.num_ops` operations drawn from `spec` against `engine`
+/// through the batched `StorageEngine::ExecuteOps` pipeline; per-op
+/// simulated latency and I/O are attributed by the engine itself. Any
+/// StorageEngine works: a bare `lsm::LsmTree` or an
+/// `engine::ShardedEngine` (which fans each batch across its pool).
 ExecutionResult Execute(engine::StorageEngine* engine,
                         const model::WorkloadSpec& spec,
                         const ExecutorConfig& config, KeySpace* keys);

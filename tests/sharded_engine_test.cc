@@ -128,6 +128,60 @@ TEST(ShardedEngineTest, ShardOptionsDivideMemoryBudgets) {
   EXPECT_EQ(same.bloom_bits, total.bloom_bits);
 }
 
+TEST(ShardedEngineTest, ShardOptionsNonDivisibleBudgetsFloorWithClamp) {
+  lsm::Options total = SmallOptions();
+  total.buffer_bytes = 100003;      // prime: never divisible
+  total.bloom_bits = 77777;
+  total.block_cache_bytes = 999;
+  for (size_t n : {3, 5, 7}) {
+    const lsm::Options per_shard = ShardedEngine::ShardOptions(total, n);
+    // Remainders are dropped (floor division): the system never
+    // over-commits the stated total budget...
+    EXPECT_EQ(per_shard.buffer_bytes, total.buffer_bytes / n) << "n=" << n;
+    EXPECT_EQ(per_shard.bloom_bits, total.bloom_bits / n) << "n=" << n;
+    EXPECT_EQ(per_shard.block_cache_bytes, total.block_cache_bytes / n)
+        << "n=" << n;
+    EXPECT_LE(per_shard.buffer_bytes * n, total.buffer_bytes);
+    EXPECT_LE(per_shard.bloom_bits * n, total.bloom_bits);
+  }
+  // ...except the write buffer, which is clamped up to one entry so a
+  // shard can always buffer something even under absurd division.
+  lsm::Options tiny = SmallOptions();
+  tiny.buffer_bytes = tiny.entry_bytes * 2;  // 2 entries total
+  const lsm::Options starved = ShardedEngine::ShardOptions(tiny, 7);
+  EXPECT_EQ(starved.buffer_bytes, tiny.entry_bytes);
+}
+
+TEST(ShardedEngineTest, PartitionerBalancesSequentialAndRandomKeys) {
+  // The Mix64(key) % N partitioner must spread both structured key sets
+  // (the KeySpace's consecutive even integers — raw modulo would stripe
+  // them) and uniform random keys evenly across shards.
+  for (const size_t num_shards : {4, 8}) {
+    const size_t num_keys = 40000;
+    const double mean =
+        static_cast<double>(num_keys) / static_cast<double>(num_shards);
+
+    std::vector<size_t> sequential_hits(num_shards, 0);
+    for (size_t i = 1; i <= num_keys; ++i) {
+      ++sequential_hits[util::Mix64(2 * i) % num_shards];
+    }
+    util::Random rng(123);
+    std::vector<size_t> random_hits(num_shards, 0);
+    for (size_t i = 0; i < num_keys; ++i) {
+      ++random_hits[util::Mix64(rng.Next()) % num_shards];
+    }
+
+    // 10% tolerance: ~7 sigma at this sample size, far beyond hash noise,
+    // but tight enough to catch striping or a starved shard immediately.
+    for (size_t s = 0; s < num_shards; ++s) {
+      EXPECT_NEAR(static_cast<double>(sequential_hits[s]), mean, 0.10 * mean)
+          << "sequential keys, shard " << s << "/" << num_shards;
+      EXPECT_NEAR(static_cast<double>(random_hits[s]), mean, 0.10 * mean)
+          << "random keys, shard " << s << "/" << num_shards;
+    }
+  }
+}
+
 TEST(ShardedEngineTest, PerShardReconfigureTouchesOnlyThatShard) {
   ShardedEngine eng(3, SmallOptions(), QuietDevice());
   const double t_before = eng.shard(0)->options().size_ratio;
