@@ -23,6 +23,10 @@
 //   --ops=N       operations per tenant (default 4000)
 //   --entries=N   initially loaded entries per tenant (default 8000)
 //   --mode=M      serial | async | both (default both)
+//   --arbiter=A   off | periodic — per-tenant memory arbitration
+//                 (default off: the even-split baseline)
+//   --skew=F      per-shard Zipf traffic hotness (default 0: uniform);
+//                 shard s receives weight 1/(s+1)^F
 //   --json PATH   also write the sweep as a JSON artifact
 //   --quick       tiny scale for CI smoke
 
@@ -37,6 +41,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "camal/memory_arbiter.h"
 #include "engine/sharded_engine.h"
 #include "workload/executor.h"
 #include "workload/generator.h"
@@ -46,6 +51,8 @@ namespace {
 
 struct SweepRow {
   const char* mode = "serial";
+  const char* arbiter = "off";
+  double skew = 0.0;
   size_t shards = 0;
   size_t threads = 0;
   double wall_ms = 0.0;
@@ -53,6 +60,12 @@ struct SweepRow {
   double sim_mean_us = 0.0;
   double sim_p99_us = 0.0;
   double sim_ios_per_op = 0.0;
+  /// Per-shard observability of tenant 0 after the run: arbitrated (or
+  /// even-split) memory budgets, live entries, and each shard's simulated
+  /// cost clock — the accessors the arbiter itself prices with.
+  std::vector<uint64_t> shard_budget_bits;
+  std::vector<uint64_t> shard_entries;
+  std::vector<double> shard_sim_ms;
 };
 
 struct SweepConfig {
@@ -62,6 +75,8 @@ struct SweepConfig {
   uint64_t entries_per_tenant = 8000;
   bool run_serial = true;
   bool run_async = true;
+  bool arbiter = false;
+  double skew = 0.0;
 };
 
 SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
@@ -79,6 +94,7 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
   std::unique_ptr<util::ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
   std::vector<std::unique_ptr<engine::ShardedEngine>> tenants;
+  std::vector<std::unique_ptr<tune::MemoryArbiter>> arbiters;
   std::vector<workload::ExecuteJob> jobs;
   for (size_t t = 0; t < threads; ++t) {
     tenants.push_back(std::make_unique<engine::ShardedEngine>(
@@ -93,7 +109,19 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
     job.spec = mix;
     job.config.num_ops = cfg.ops_per_tenant;
     job.config.generator.scan_len = setup.scan_len;
+    // Hot/cold shard traffic (inert at skew 0).
+    job.config.generator.shard_skew = cfg.skew;
+    job.config.generator.num_shards = shards;
     job.config.seed = 1000 + t;
+    if (cfg.arbiter && shards > 1) {
+      // One arbiter per tenant engine, riding the batch pipeline; a few
+      // rounds fit in the per-tenant op budget at any --ops value.
+      tune::ArbiterOptions arb_opts;
+      arb_opts.period_ops = std::max<size_t>(128, cfg.ops_per_tenant / 8);
+      arbiters.push_back(std::make_unique<tune::MemoryArbiter>(
+          setup, config.ToOptions(setup), shards, arb_opts));
+      job.config.hook = arbiters.back().get();
+    }
     // Steady-state updates only: the shared KeySpace stays immutable.
     job.keys = const_cast<workload::KeySpace*>(&keys);
     jobs.push_back(job);
@@ -115,6 +143,8 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
 
   SweepRow row;
   row.mode = async ? "async" : "serial";
+  row.arbiter = (cfg.arbiter && shards > 1) ? "periodic" : "off";
+  row.skew = cfg.skew;
   row.shards = shards;
   row.threads = threads;
   row.wall_ms =
@@ -131,6 +161,16 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
   row.sim_mean_us /= n;
   row.sim_p99_us /= n;
   row.sim_ios_per_op /= n;
+
+  // Per-shard columns from tenant 0 (tenants are statistically identical;
+  // one tenant keeps the artifact small): where the budget ended up, how
+  // many entries each shard holds, and each shard's cost clock.
+  const engine::ShardedEngine& t0 = *tenants.front();
+  for (size_t s = 0; s < t0.NumShards(); ++s) {
+    row.shard_budget_bits.push_back(t0.ShardBudgetSnapshot(s).TotalBits());
+    row.shard_entries.push_back(t0.ShardEntries(s));
+    row.shard_sim_ms.push_back(t0.ShardCostSnapshot(s).elapsed_ns / 1e6);
+  }
   return row;
 }
 
@@ -147,16 +187,40 @@ void WriteJson(const std::string& path, const SweepConfig& cfg,
   std::fprintf(f, "  \"entries_per_tenant\": %llu,\n",
                static_cast<unsigned long long>(cfg.entries_per_tenant));
   std::fprintf(f, "  \"rows\": [\n");
+  const auto print_u64_array = [f](const char* key,
+                                   const std::vector<uint64_t>& values) {
+    std::fprintf(f, "\"%s\": [", key);
+    for (size_t i = 0; i < values.size(); ++i) {
+      std::fprintf(f, "%s%llu", i == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(values[i]));
+    }
+    std::fprintf(f, "]");
+  };
+  const auto print_double_array = [f](const char* key,
+                                      const std::vector<double>& values) {
+    std::fprintf(f, "\"%s\": [", key);
+    for (size_t i = 0; i < values.size(); ++i) {
+      std::fprintf(f, "%s%.3f", i == 0 ? "" : ", ", values[i]);
+    }
+    std::fprintf(f, "]");
+  };
   for (size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(f,
-                 "    {\"mode\": \"%s\", \"shards\": %zu, \"threads\": %zu, "
+                 "    {\"mode\": \"%s\", \"arbiter\": \"%s\", "
+                 "\"skew\": %.3f, \"shards\": %zu, \"threads\": %zu, "
                  "\"wall_ms\": %.3f, \"ops_per_sec\": %.1f, "
                  "\"sim_mean_us\": %.3f, \"sim_p99_us\": %.3f, "
-                 "\"sim_ios_per_op\": %.4f}%s\n",
-                 r.mode, r.shards, r.threads, r.wall_ms, r.ops_per_sec,
-                 r.sim_mean_us, r.sim_p99_us, r.sim_ios_per_op,
-                 i + 1 < rows.size() ? "," : "");
+                 "\"sim_ios_per_op\": %.4f, ",
+                 r.mode, r.arbiter, r.skew, r.shards, r.threads, r.wall_ms,
+                 r.ops_per_sec, r.sim_mean_us, r.sim_p99_us,
+                 r.sim_ios_per_op);
+    print_u64_array("shard_budget_bits", r.shard_budget_bits);
+    std::fprintf(f, ", ");
+    print_u64_array("shard_entries", r.shard_entries);
+    std::fprintf(f, ", ");
+    print_double_array("shard_sim_ms", r.shard_sim_ms);
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -167,9 +231,11 @@ void Run(const SweepConfig& cfg, const std::string& json_path) {
   std::printf("Sharded serving engine: %zu ops/tenant over %llu entries, "
               "mix v/r/q/w = 0.2/0.3/0.2/0.3\n"
               "serial = tenant-parallel, shard-serial; "
-              "async = tenant-serial, shard-parallel (same total ops)\n\n",
+              "async = tenant-serial, shard-parallel (same total ops)\n"
+              "arbiter=%s, shard skew=%.2f\n\n",
               cfg.ops_per_tenant,
-              static_cast<unsigned long long>(cfg.entries_per_tenant));
+              static_cast<unsigned long long>(cfg.entries_per_tenant),
+              cfg.arbiter ? "periodic" : "off", cfg.skew);
   std::printf("%7s %7s %8s %9s %11s %12s %11s %8s\n", "mode", "shards",
               "tenants", "wall ms", "ops/sec", "sim mean us", "sim p99 us",
               "ios/op");
@@ -186,6 +252,15 @@ void Run(const SweepConfig& cfg, const std::string& json_path) {
                     row.mode, row.shards, row.threads, row.wall_ms,
                     row.ops_per_sec, row.sim_mean_us, row.sim_p99_us,
                     row.sim_ios_per_op);
+        if (cfg.arbiter && row.shards > 1) {
+          // Where tenant 0's budget settled (even split when no round
+          // moved memory).
+          std::printf("        budgets Kb:");
+          for (uint64_t bits : row.shard_budget_bits) {
+            std::printf(" %.0f", static_cast<double>(bits) / 1024.0);
+          }
+          std::printf("\n");
+        }
         rows.push_back(row);
       }
     }
@@ -246,6 +321,25 @@ int main(int argc, char** argv) {
                      "invalid --mode value '%s' (serial|async|both)\n", mode);
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--arbiter=", 10) == 0) {
+      const char* arb = argv[i] + 10;
+      if (std::strcmp(arb, "periodic") == 0) {
+        cfg.arbiter = true;
+      } else if (std::strcmp(arb, "off") != 0) {
+        std::fprintf(stderr, "invalid --arbiter value '%s' (off|periodic)\n",
+                     arb);
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--skew=", 7) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const double skew = std::strtod(argv[i] + 7, &end);
+      if (end == argv[i] + 7 || *end != '\0' || skew < 0.0 ||
+          errno == ERANGE) {
+        std::fprintf(stderr, "invalid --skew value '%s'\n", argv[i] + 7);
+        return 1;
+      }
+      cfg.skew = skew;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;

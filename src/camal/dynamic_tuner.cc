@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "camal/extrapolation.h"
+#include "camal/memory_arbiter.h"
 #include "util/status.h"
 
 namespace camal::tune {
@@ -44,8 +45,14 @@ void DynamicTuner::RetuneShard(engine::StorageEngine* engine, size_t s,
   estimated.skew = stream_spec.skew;
   const double scale = static_cast<double>(engine->ShardEntries(s)) /
                        static_cast<double>(shard_setup_.num_entries);
-  const model::SystemParams target =
+  model::SystemParams target =
       ScaleParams(shard_setup_.ToModelParams(), std::max(0.1, scale));
+  if (arbiter_ != nullptr) {
+    // The retune prices its recommendation at the shard's arbitrated
+    // budget, not the scaled even share: a hot shard that was granted
+    // extra memory keeps it across shape retunes.
+    target.total_memory_bits = static_cast<double>(arbiter_->BudgetBits(s));
+  }
   last_applied_ = recommend_(estimated, target);
   engine->ReconfigureShard(s, last_applied_.ToOptions(shard_setup_));
 }
@@ -107,6 +114,13 @@ workload::ExecutionResult DynamicTuner::RunPhase(
     done += pending.size();
 
     for (size_t s : fired) RetuneShard(engine, s, spec);
+
+    // Arbitration composes with retunes at the same boundary: budgets
+    // observed over whole windows move between shards between batches,
+    // never inside one.
+    if (arbiter_ != nullptr) {
+      arbiter_->OnBatch(engine, pending.data(), pending.size());
+    }
   }
   result.num_ops = num_ops;
   return result;

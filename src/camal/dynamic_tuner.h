@@ -12,6 +12,8 @@
 
 namespace camal::tune {
 
+class MemoryArbiter;
+
 /// Produces a configuration for an (estimated) workload at a target system
 /// scale. Model-backed tuners bind `ModelBackedTuner::RecommendFor`.
 using RecommendFn = std::function<TuningConfig(const model::WorkloadSpec&,
@@ -54,6 +56,15 @@ class DynamicTuner {
   size_t reconfigurations() const;
   const TuningConfig& last_applied() const { return last_applied_; }
 
+  /// Attaches (or detaches, with nullptr) a memory arbiter (not owned;
+  /// must outlive its use). With an arbiter attached, arbitration rounds
+  /// fire between detector-cut batches, and per-shard retunes price their
+  /// recommendations at the shard's *arbitrated* budget instead of the
+  /// scaled even share — budget redistribution and shape retuning
+  /// compose. Detached (the default) is the exact pre-arbiter behavior.
+  void set_arbiter(MemoryArbiter* arbiter) { arbiter_ = arbiter; }
+  MemoryArbiter* arbiter() const { return arbiter_; }
+
  private:
   /// Lazily sizes the per-shard detector array to the engine's shard
   /// count (the engine must not change between phases).
@@ -72,6 +83,7 @@ class DynamicTuner {
   Params params_;
   std::vector<workload::ShiftDetector> detectors_;
   TuningConfig last_applied_;
+  MemoryArbiter* arbiter_ = nullptr;
 };
 
 }  // namespace camal::tune

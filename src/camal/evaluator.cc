@@ -1,7 +1,9 @@
 #include "camal/evaluator.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "camal/memory_arbiter.h"
 #include "engine/sharded_engine.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -50,7 +52,22 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
   exec.num_ops = num_ops;
   exec.generator.scan_len = setup_.scan_len;
   exec.generator.insert_new_keys = false;
+  // Tenant-skewed traffic (inert at shard_skew == 0: the generator then
+  // draws exactly the historical stream).
+  exec.generator.shard_skew = setup_.shard_skew;
+  exec.generator.num_shards = eng.NumShards();
   exec.seed = HashCombine(setup_.seed * 31, salt + 1);
+  // Static evaluation can price uneven splits: with arbitration on, the
+  // arbiter rides the batch pipeline as a hook and redistributes shard
+  // budgets mid-measurement, exactly as a serving system would.
+  std::unique_ptr<MemoryArbiter> arbiter;
+  if (setup_.arbitration == ArbitrationMode::kPeriodic && eng.NumShards() > 1) {
+    ArbiterOptions arb_opts;
+    arb_opts.period_ops = setup_.arbiter_period_ops;
+    arbiter = std::make_unique<MemoryArbiter>(
+        setup_, config.ToOptions(setup_), eng.NumShards(), arb_opts);
+    exec.hook = arbiter.get();
+  }
   workload::ExecutionResult result =
       workload::Execute(&eng, workload, exec, &keys);
 

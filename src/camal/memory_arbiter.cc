@@ -1,0 +1,246 @@
+#include "camal/memory_arbiter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "engine/sharded_engine.h"
+#include "model/arbitration.h"
+#include "model/optimum.h"
+#include "util/status.h"
+
+namespace camal::tune {
+
+MemoryArbiter::MemoryArbiter(const SystemSetup& setup,
+                             const lsm::Options& total_options,
+                             size_t num_shards,
+                             const ArbiterOptions& options)
+    : setup_(setup), options_(options) {
+  CAMAL_CHECK(num_shards >= 1);
+  shape_.policy = total_options.policy;
+  shape_.size_ratio = total_options.size_ratio;
+  shape_.runs_per_level = total_options.runs_per_level;
+
+  // Start from exactly what the engine handed each shard (floor division
+  // drops remainders system-wide, so the conserved total is the sum of
+  // the shares, not the nominal system budget).
+  const engine::ShardBudget even = engine::ShardBudget::FromOptions(
+      engine::ShardedEngine::ShardOptions(total_options, num_shards));
+  budgets_.assign(num_shards, even.TotalBits());
+  total_bits_ = even.TotalBits() * num_shards;
+  const double share = static_cast<double>(even.TotalBits());
+  floor_bits_ = static_cast<uint64_t>(options_.floor_frac * share);
+  quantum_bits_ =
+      std::max<uint64_t>(1, static_cast<uint64_t>(options_.quantum_frac * share));
+  // A quantum whose buffer slice is smaller than one entry is below the
+  // engine's discretization: budgets would drift, behavior would barely
+  // change, and every move would still pay reconfiguration transitions.
+  // Raise the quantum so each move shifts at least one whole buffer
+  // entry on the proportional split.
+  const double buffer_frac =
+      share == 0.0 ? 1.0 : 8.0 * static_cast<double>(even.buffer_bytes) / share;
+  const double entry_bits = 8.0 * static_cast<double>(total_options.entry_bytes);
+  quantum_bits_ = std::max<uint64_t>(
+      quantum_bits_,
+      static_cast<uint64_t>(entry_bits / std::max(0.05, buffer_frac)) + 1);
+  // Degenerate-budget guard: when the even share's buffer allocation is
+  // already below the model's smallest sensible buffer, the closed form
+  // has nothing trustworthy to say about moving memory — budgets hold at
+  // the even split rather than trade real transition I/O for modeled
+  // noise.
+  model::SystemParams share_params = setup_.ToModelParams();
+  share_params.total_memory_bits = share;
+  active_ = 8.0 * static_cast<double>(even.buffer_bytes) >=
+            model::MinBufferBits(share_params);
+  counts_.assign(num_shards, {0, 0, 0, 0});
+}
+
+void MemoryArbiter::Record(size_t shard, workload::OpType type) {
+  CAMAL_CHECK(shard < counts_.size());
+  switch (type) {
+    case workload::OpType::kZeroResultLookup:
+      ++counts_[shard][0];
+      break;
+    case workload::OpType::kNonZeroResultLookup:
+      ++counts_[shard][1];
+      break;
+    case workload::OpType::kRangeLookup:
+      ++counts_[shard][2];
+      break;
+    case workload::OpType::kWrite:
+    case workload::OpType::kDelete:
+      ++counts_[shard][3];
+      break;
+  }
+}
+
+void MemoryArbiter::OnBatch(engine::StorageEngine* engine,
+                            const workload::Operation* ops, size_t count) {
+  const size_t num_shards = counts_.size();
+  for (size_t i = 0; i < count; ++i) {
+    if (ops[i].type == workload::OpType::kRangeLookup) {
+      // A scatter-gather scan probes every shard; each pays for it.
+      for (size_t s = 0; s < num_shards; ++s) Record(s, ops[i].type);
+    } else {
+      Record(engine->ShardIndex(ops[i].key), ops[i].type);
+    }
+  }
+  window_ops_ += count;
+  if (RoundDue()) Rebalance(engine);
+}
+
+model::SystemParams MemoryArbiter::ShardParams(
+    const engine::StorageEngine& engine, size_t s) const {
+  model::SystemParams p = setup_.ToModelParams();
+  p.num_entries =
+      static_cast<double>(std::max<uint64_t>(1, engine.ShardEntries(s)));
+  p.total_memory_bits = static_cast<double>(budgets_[s]);
+  // A scatter-gather scan drains only ~1/N of the merged selectivity from
+  // each shard; pricing the full selectivity on every shard would make
+  // scan-probed cold shards look far more memory-hungry than they are.
+  p.selectivity = std::max(
+      1.0, p.selectivity / static_cast<double>(counts_.size()));
+  return p;
+}
+
+model::WorkloadSpec MemoryArbiter::WindowSpec(size_t s) const {
+  const auto& c = counts_[s];
+  const uint64_t total = c[0] + c[1] + c[2] + c[3];
+  if (total == 0) return model::WorkloadSpec{0.25, 0.25, 0.25, 0.25};
+  const double n = static_cast<double>(total);
+  model::WorkloadSpec spec;
+  spec.v = static_cast<double>(c[0]) / n;
+  spec.r = static_cast<double>(c[1]) / n;
+  spec.q = static_cast<double>(c[2]) / n;
+  spec.w = static_cast<double>(c[3]) / n;
+  return spec;
+}
+
+size_t MemoryArbiter::Rebalance(engine::StorageEngine* engine) {
+  ++rounds_;
+  const size_t num_shards = counts_.size();
+  size_t reconfigured = 0;
+  if (active_ && num_shards > 1) {
+    // Load share of each shard: its window operation volume, with scans
+    // counted on every shard they probe (the per-probe work is priced at
+    // the per-shard selectivity slice by ShardParams). Op volume — not
+    // the measured cost clock — ranks shards deliberately: measured cost
+    // is dominated by whichever shard happened to run a big compaction,
+    // and a freshly reconfigured shard pays transition I/O that would
+    // read as load, feeding budget moves back into themselves. The
+    // measured clocks (`ShardCostSnapshot`) stay the *validation* signal:
+    // they are what benches report per shard next to the budgets.
+    std::vector<double> load(num_shards, 0.0);
+    double load_total = 0.0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const auto& c = counts_[s];
+      load[s] = static_cast<double>(c[0] + c[1] + c[2] + c[3]);
+      load_total += load[s];
+    }
+
+    // Load-weighted marginal value of one quantum for each shard,
+    // refreshed only for shards whose budget a move changed.
+    const double delta = static_cast<double>(quantum_bits_);
+    std::vector<double> rate(num_shards, 0.0);
+    std::vector<model::MemoryMarginal> marginal(num_shards);
+    const auto refresh = [&](size_t s) {
+      const auto& c = counts_[s];
+      const uint64_t ops = c[0] + c[1] + c[2] + c[3];
+      rate[s] = load_total <= 0.0 ? 0.0 : load[s] / load_total;
+      if (ops == 0) {
+        // A silent tenant neither gains nor loses by the model; only its
+        // floor protects it from being fully drained.
+        marginal[s] = model::MemoryMarginal{};
+        return;
+      }
+      const lsm::Options live = engine->ShardOptionsSnapshot(s);
+      const engine::ShardBudget held = engine::ShardBudget::FromOptions(live);
+      const double mc_frac =
+          held.TotalBits() == 0
+              ? 0.0
+              : static_cast<double>(8 * held.block_cache_bytes) /
+                    static_cast<double>(held.TotalBits());
+      model::ModelConfig shape = shape_;
+      shape.policy = live.policy;
+      shape.size_ratio = live.size_ratio;
+      shape.runs_per_level = live.runs_per_level;
+      marginal[s] = model::PriceMemoryDelta(WindowSpec(s), ShardParams(*engine, s),
+                                            shape, mc_frac, delta);
+    };
+    for (size_t s = 0; s < num_shards; ++s) refresh(s);
+
+    std::vector<bool> changed(num_shards, false);
+    for (int move = 0; move < options_.max_moves_per_round; ++move) {
+      size_t receiver = num_shards, donor = num_shards;
+      double best_gain = 0.0;
+      double best_loss = std::numeric_limits<double>::infinity();
+      for (size_t s = 0; s < num_shards; ++s) {
+        const double gain = rate[s] * marginal[s].gain;
+        if (gain > best_gain) {
+          best_gain = gain;
+          receiver = s;
+        }
+      }
+      if (receiver == num_shards) break;
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (s == receiver) continue;
+        if (budgets_[s] < floor_bits_ + quantum_bits_) continue;
+        const double loss = rate[s] * marginal[s].loss;
+        if (loss < best_loss) {
+          best_loss = loss;
+          donor = s;
+        }
+      }
+      if (donor == num_shards) break;
+      if (best_gain <= options_.hysteresis * best_loss) break;
+      budgets_[receiver] += quantum_bits_;
+      budgets_[donor] -= quantum_bits_;
+      changed[receiver] = changed[donor] = true;
+      ++moves_;
+      refresh(receiver);
+      refresh(donor);
+    }
+
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (!changed[s]) continue;
+      ApplyBudget(engine, s);
+      ++reconfigured;
+    }
+  }
+
+  reconfigurations_ += reconfigured;
+  counts_.assign(num_shards, {0, 0, 0, 0});
+  window_ops_ = 0;
+  return reconfigured;
+}
+
+void MemoryArbiter::ApplyBudget(engine::StorageEngine* engine, size_t s) {
+  lsm::Options opts = engine->ShardOptionsSnapshot(s);
+  const engine::ShardBudget held = engine::ShardBudget::FromOptions(opts);
+  const double budget = static_cast<double>(budgets_[s]);
+
+  // Buffer, Bloom, and cache scale proportionally into the new budget:
+  // the shard keeps the *shape* of its internal split (whether it came
+  // from the system config or a per-shard retune) and only its total
+  // changes. The model already decided the cross-shard move; re-deciding
+  // the intra-shard split here would bet the measured substrate agrees
+  // with the closed form twice per move. Per-shard retunes
+  // (DynamicTuner) remain the place where splits are re-optimized — at
+  // the arbitrated budget.
+  const double scale =
+      held.TotalBits() == 0 ? 1.0
+                            : budget / static_cast<double>(held.TotalBits());
+
+  // Floor divisions round bits down into bytes, so an applied budget can
+  // only undershoot the arbitrated one (the buffer clamp mirrors
+  // TuningConfig::ToOptions and is covered by the per-shard floor).
+  opts.buffer_bytes = std::max<uint64_t>(
+      opts.entry_bytes * 4,
+      static_cast<uint64_t>(static_cast<double>(held.buffer_bytes) * scale));
+  opts.bloom_bits =
+      static_cast<uint64_t>(static_cast<double>(held.bloom_bits) * scale);
+  opts.block_cache_bytes = static_cast<uint64_t>(
+      static_cast<double>(held.block_cache_bytes) * scale);
+  engine->ReconfigureShard(s, opts);
+}
+
+}  // namespace camal::tune

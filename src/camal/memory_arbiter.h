@@ -1,0 +1,137 @@
+#ifndef CAMAL_CAMAL_MEMORY_ARBITER_H_
+#define CAMAL_CAMAL_MEMORY_ARBITER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "camal/sample.h"
+#include "engine/storage_engine.h"
+#include "model/workload_spec.h"
+#include "util/status.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+
+namespace camal::tune {
+
+/// Knobs of the per-tenant memory arbiter.
+struct ArbiterOptions {
+  /// Operations observed between arbitration rounds. Rounds land at batch
+  /// boundaries, so the effective period is quantized to the pipeline's
+  /// batch granularity.
+  size_t period_ops = 2048;
+  /// Per-shard budget floor as a fraction of the even share: no shard
+  /// ever drops below `floor_frac * total / num_shards` bits.
+  double floor_frac = 0.5;
+  /// Budget quantum moved per step, as a fraction of the even share.
+  double quantum_frac = 0.125;
+  /// Maximum quanta moved per arbitration round.
+  int max_moves_per_round = 8;
+  /// A move requires the receiver's traffic-weighted modeled gain to
+  /// exceed the donor's loss by this factor (hysteresis against budget
+  /// thrashing under noisy windows; the concavity of cost-vs-memory
+  /// already penalizes moves, so this stays close to 1).
+  double hysteresis = 1.1;
+};
+
+/// Per-tenant memory arbitration: observes per-shard load (operation mix
+/// and volume, entry counts) over windows of `period_ops` operations and
+/// periodically redistributes buffer/Bloom/block-cache memory between the
+/// shards of a `StorageEngine` by model-priced marginal benefit — the
+/// multi-tenant generalization of the paper's Mb/Mf split round. The
+/// fixed system total is conserved (budgets only move, never grow), every
+/// shard keeps at least its floor, and all decisions are a deterministic
+/// function of the observed operation stream and engine state.
+///
+/// The arbiter is a `workload::BatchHook`: attach it to an
+/// `ExecutorConfig` (static serving, `Evaluator` with
+/// `SystemSetup::arbitration`) or to a `DynamicTuner` (dynamic serving,
+/// composing with per-shard retunes, which then respect arbitrated
+/// budgets). Not attached — today's even split — is the exact pre-arbiter
+/// behavior.
+class MemoryArbiter : public workload::BatchHook {
+ public:
+  /// `total_options` is the system-wide configuration whose memory the
+  /// arbiter conserves; starting per-shard budgets are the engine's even
+  /// split of it (`ShardedEngine::ShardOptions` floor division), so an
+  /// arbiter that never moves memory changes nothing. `setup` supplies
+  /// the model basis (entry size, block size, scan selectivity).
+  MemoryArbiter(const SystemSetup& setup, const lsm::Options& total_options,
+                size_t num_shards, const ArbiterOptions& options);
+
+  /// Records one observed operation routed to `shard` (scans are recorded
+  /// on every shard they probe).
+  void Record(size_t shard, workload::OpType type);
+
+  /// True when a full observation window has elapsed.
+  bool RoundDue() const { return window_ops_ >= options_.period_ops; }
+
+  /// Runs one arbitration round against `engine`: prices every shard's
+  /// marginal memory benefit from its window mix, moves quanta from the
+  /// lowest-loss donors to the highest-gain receivers, reconfigures the
+  /// shards whose budgets changed, and resets the window. Returns the
+  /// number of shards reconfigured.
+  size_t Rebalance(engine::StorageEngine* engine);
+
+  /// BatchHook: accounts the batch per shard and rebalances when a window
+  /// has elapsed.
+  void OnBatch(engine::StorageEngine* engine, const workload::Operation* ops,
+               size_t count) override;
+
+  /// Current arbitrated budget of one shard, in bits.
+  uint64_t BudgetBits(size_t shard) const {
+    CAMAL_CHECK(shard < budgets_.size());
+    return budgets_[shard];
+  }
+  const std::vector<uint64_t>& budget_bits() const { return budgets_; }
+
+  /// The conserved system total and the per-shard floor, in bits.
+  uint64_t total_bits() const { return total_bits_; }
+  uint64_t floor_bits() const { return floor_bits_; }
+
+  size_t rounds() const { return rounds_; }
+  size_t moves() const { return moves_; }
+  size_t reconfigurations() const { return reconfigurations_; }
+
+  /// False when the per-shard even share is too small for the model to
+  /// price moves meaningfully (its buffer slice is under the model's
+  /// minimum sensible buffer); the arbiter then observes but never moves
+  /// memory.
+  bool active() const { return active_; }
+
+  const ArbiterOptions& options() const { return options_; }
+
+ private:
+  /// Model view of shard `s` at its current budget: local entry count from
+  /// the engine, window mix, shared entry/block/selectivity basis.
+  model::SystemParams ShardParams(const engine::StorageEngine& engine,
+                                  size_t s) const;
+
+  /// Window mix of shard `s` (uniform when the shard saw no traffic).
+  model::WorkloadSpec WindowSpec(size_t s) const;
+
+  /// Applies shard `s`'s arbitrated budget: scales the shard's live
+  /// buffer/Bloom/cache split proportionally into the new total and
+  /// reconfigures the shard (shape knobs untouched).
+  void ApplyBudget(engine::StorageEngine* engine, size_t s);
+
+  SystemSetup setup_;
+  ArbiterOptions options_;
+  /// Shape the pricing holds fixed (T, policy, K of the system config).
+  model::ModelConfig shape_;
+  std::vector<uint64_t> budgets_;
+  uint64_t total_bits_ = 0;
+  uint64_t floor_bits_ = 0;
+  uint64_t quantum_bits_ = 0;
+  /// Window operation counts per shard: v, r, q, w(+deletes).
+  std::vector<std::array<uint64_t, 4>> counts_;
+  bool active_ = true;
+  size_t window_ops_ = 0;
+  size_t rounds_ = 0;
+  size_t moves_ = 0;
+  size_t reconfigurations_ = 0;
+};
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_MEMORY_ARBITER_H_

@@ -14,6 +14,12 @@
 
 namespace camal::tune {
 
+/// Whether (and how) per-tenant memory arbitration runs during serving:
+/// `kOff` keeps the even per-shard split (bit-identical to the
+/// pre-arbiter system); `kPeriodic` redistributes shard budgets by
+/// modeled marginal benefit every `arbiter_period_ops` operations.
+enum class ArbitrationMode { kOff, kPeriodic };
+
 /// The experimental scale: data size, memory budget, device, and query
 /// volumes. One SystemSetup corresponds to one "database server" in the
 /// paper's evaluation.
@@ -52,6 +58,16 @@ struct SystemSetup {
   /// when job-level parallelism is exhausted (e.g. a single final
   /// Evaluate, or the dynamic tuner driving one big sharded engine).
   int engine_threads = 1;
+  /// Per-tenant memory arbitration during measurement runs (only
+  /// meaningful with `num_shards` > 1). `kOff` — the default — is
+  /// bit-identical to the pre-arbiter evaluator.
+  ArbitrationMode arbitration = ArbitrationMode::kOff;
+  /// Operations between arbitration rounds (`kPeriodic` mode).
+  size_t arbiter_period_ops = 2048;
+  /// Per-shard traffic hotness of generated streams (Zipf over shard
+  /// index; see `workload::GeneratorConfig::shard_skew`). 0 = uniform
+  /// tenant traffic, today's behavior.
+  double shard_skew = 0.0;
 
   /// The closed-form model's view of this setup.
   model::SystemParams ToModelParams() const;

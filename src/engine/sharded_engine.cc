@@ -219,16 +219,31 @@ void ShardedEngine::ReconfigureShard(size_t shard,
   shards_[shard].tree->Reconfigure(options);
 }
 
+lsm::Options ShardedEngine::ShardOptionsSnapshot(size_t shard) const {
+  CAMAL_CHECK(shard < shards_.size());
+  return shards_[shard].tree->options();
+}
+
 sim::DeviceSnapshot ShardedEngine::CostSnapshot() const {
   sim::DeviceSnapshot total;
   for (const Shard& shard : shards_) total += shard.device->Snapshot();
   return total;
 }
 
+sim::DeviceSnapshot ShardedEngine::ShardCostSnapshot(size_t shard) const {
+  CAMAL_CHECK(shard < shards_.size());
+  return shards_[shard].device->Snapshot();
+}
+
 EngineCounters ShardedEngine::AggregateCounters() const {
   EngineCounters total;
   for (const Shard& shard : shards_) total += shard.tree->counters();
   return total;
+}
+
+EngineCounters ShardedEngine::ShardCounters(size_t shard) const {
+  CAMAL_CHECK(shard < shards_.size());
+  return shards_[shard].tree->counters();
 }
 
 uint64_t ShardedEngine::TotalEntries() const {

@@ -74,8 +74,12 @@ class ShardedEngine : public StorageEngine {
   size_t NumShards() const override { return shards_.size(); }
   size_t ShardIndex(uint64_t key) const override;
 
+  lsm::Options ShardOptionsSnapshot(size_t shard) const override;
+
   sim::DeviceSnapshot CostSnapshot() const override;
+  sim::DeviceSnapshot ShardCostSnapshot(size_t shard) const override;
   EngineCounters AggregateCounters() const override;
+  EngineCounters ShardCounters(size_t shard) const override;
 
   uint64_t TotalEntries() const override;
   uint64_t DiskEntries() const override;

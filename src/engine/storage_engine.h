@@ -34,6 +34,26 @@ struct EngineCounters {
   }
 };
 
+/// The memory a shard currently holds across the three arbitrable pools —
+/// the currency of per-tenant memory arbitration. Budgets are always a
+/// *view* of the shard's live `lsm::Options`; the options remain the
+/// authority the engine is configured with.
+struct ShardBudget {
+  uint64_t buffer_bytes = 0;
+  uint64_t bloom_bits = 0;
+  uint64_t block_cache_bytes = 0;
+
+  static ShardBudget FromOptions(const lsm::Options& options) {
+    return ShardBudget{options.buffer_bytes, options.bloom_bits,
+                       options.block_cache_bytes};
+  }
+
+  /// Total memory in bits (the unit budgets are arbitrated in).
+  uint64_t TotalBits() const {
+    return 8 * buffer_bytes + bloom_bits + 8 * block_cache_bytes;
+  }
+};
+
 /// The operation kinds of the batched request pipeline. The workload layer
 /// distinguishes zero- from non-zero-result lookups when it *generates*
 /// operations; by the time an op reaches the engine both are a `kGet`.
@@ -154,6 +174,16 @@ class StorageEngine {
     Reconfigure(options);
   }
 
+  /// Live configuration one shard currently runs with (budgets are
+  /// shard-local, shape knobs as last applied). This is the surface the
+  /// memory arbiter and the observability layer read budgets from.
+  virtual lsm::Options ShardOptionsSnapshot(size_t shard) const = 0;
+
+  /// Memory budget one shard currently holds — a view of its options.
+  ShardBudget ShardBudgetSnapshot(size_t shard) const {
+    return ShardBudget::FromOptions(ShardOptionsSnapshot(shard));
+  }
+
   // --- Cost accounting --------------------------------------------------
 
   /// Point-in-time aggregate of simulated I/O + time across the engine's
@@ -161,8 +191,22 @@ class StorageEngine {
   /// costs come from `ExecuteOps` instead).
   virtual sim::DeviceSnapshot CostSnapshot() const = 0;
 
+  /// Point-in-time cost of one shard's device(s) — the per-tenant cost
+  /// clock the memory arbiter and per-shard bench columns read. The
+  /// default serves single-shard engines.
+  virtual sim::DeviceSnapshot ShardCostSnapshot(size_t shard) const {
+    CAMAL_CHECK(shard == 0);
+    return CostSnapshot();
+  }
+
   /// Aggregate compaction/flush counters.
   virtual EngineCounters AggregateCounters() const = 0;
+
+  /// Compaction/flush counters of one shard.
+  virtual EngineCounters ShardCounters(size_t shard) const {
+    CAMAL_CHECK(shard == 0);
+    return AggregateCounters();
+  }
 
   // --- Scale views ------------------------------------------------------
 

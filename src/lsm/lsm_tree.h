@@ -64,6 +64,10 @@ class LsmTree : public engine::StorageEngine {
   void Reconfigure(const Options& new_options) override;
 
   const Options& options() const { return options_; }
+  Options ShardOptionsSnapshot(size_t shard) const override {
+    CAMAL_CHECK(shard == 0);
+    return options_;
+  }
   sim::Device* device() { return device_; }
   BlockCache* cache() { return &cache_; }
   const TreeCounters& counters() const { return counters_; }

@@ -1,0 +1,47 @@
+#include "model/arbitration.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "model/optimum.h"
+
+namespace camal::model {
+
+double OptimalShardCost(const WorkloadSpec& w_in, const SystemParams& params,
+                        const ModelConfig& shape, double mc_bits) {
+  const WorkloadSpec w = w_in.Normalized();
+  const CostModel model(params);
+  ModelConfig c = shape;
+  const double mf = OptimalMfBitsNumeric(w, model, c, mc_bits);
+  c.mf_bits = mf;
+  c.mb_bits =
+      std::max(params.entry_bits, params.total_memory_bits - mc_bits - mf);
+  return model.OpCost(w, c);
+}
+
+MemoryMarginal PriceMemoryDelta(const WorkloadSpec& w,
+                                const SystemParams& params,
+                                const ModelConfig& shape, double mc_frac,
+                                double delta_bits) {
+  const double m = params.total_memory_bits;
+  const auto cost_at = [&](double budget) {
+    SystemParams p = params;
+    p.total_memory_bits = budget;
+    return OptimalShardCost(w, p, shape, mc_frac * budget);
+  };
+
+  MemoryMarginal out;
+  const double base = cost_at(m);
+  out.gain = std::max(0.0, base - cost_at(m + delta_bits));
+  // A budget too small to hold even a few entries of buffer after the
+  // shrink cannot donate: the model below this point is meaningless.
+  const double shrunk = m - delta_bits;
+  if (shrunk <= MinBufferBits(params) + mc_frac * m) {
+    out.loss = std::numeric_limits<double>::infinity();
+  } else {
+    out.loss = std::max(0.0, cost_at(shrunk) - base);
+  }
+  return out;
+}
+
+}  // namespace camal::model

@@ -1,0 +1,47 @@
+#ifndef CAMAL_MODEL_ARBITRATION_H_
+#define CAMAL_MODEL_ARBITRATION_H_
+
+#include "model/cost_model.h"
+#include "model/workload_spec.h"
+
+namespace camal::model {
+
+/// Marginal-benefit pricing of shard memory — the query the per-tenant
+/// memory arbiter redistributes budgets with. A shard is priced as its own
+/// small system: its local operation mix, its local entry count, and its
+/// local memory budget, with the budget split optimally between write
+/// buffer and Bloom filters (the paper's Mb/Mf round applied at shard
+/// scale). Moving memory between shards then reduces to comparing one
+/// shard's marginal gain per bit against another's marginal loss.
+
+/// Modeled per-op cost of serving `w` on a shard holding
+/// `params.num_entries` entries with `params.total_memory_bits` bits of
+/// memory: `mc_bits` are carved off for the block cache (which the
+/// closed-form model does not price directly; it simply shrinks the
+/// buffer/filter budget) and the remainder is split optimally between Mb
+/// and Mf with `shape`'s size ratio, policy, and K held fixed.
+double OptimalShardCost(const WorkloadSpec& w, const SystemParams& params,
+                        const ModelConfig& shape, double mc_bits);
+
+/// Finite-difference marginal value of `delta_bits` of memory for one
+/// shard, at its optimal internal split.
+struct MemoryMarginal {
+  /// Per-op cost decrease of growing the budget by delta_bits (>= 0).
+  double gain = 0.0;
+  /// Per-op cost increase of shrinking the budget by delta_bits (>= 0).
+  double loss = 0.0;
+};
+
+/// Prices growing/shrinking a shard's budget by `delta_bits`. The block
+/// cache keeps its current fraction of the budget (`mc_frac`) on both
+/// sides of the difference. `delta_bits` must be positive and smaller
+/// than the shard's budget; shrinking below one entry of buffer is
+/// treated as infinitely costly (the caller's floor should prevent it).
+MemoryMarginal PriceMemoryDelta(const WorkloadSpec& w,
+                                const SystemParams& params,
+                                const ModelConfig& shape, double mc_frac,
+                                double delta_bits);
+
+}  // namespace camal::model
+
+#endif  // CAMAL_MODEL_ARBITRATION_H_

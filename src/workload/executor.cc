@@ -77,6 +77,9 @@ ExecutionResult Execute(engine::StorageEngine* engine,
     for (size_t i = 0; i < n; ++i) {
       AccumulateOpResult(pending[i].type, op_results[i], &result);
     }
+    if (config.hook != nullptr) {
+      config.hook->OnBatch(engine, pending.data(), n);
+    }
     remaining -= n;
   }
   result.num_ops = config.num_ops;

@@ -15,6 +15,20 @@ class ThreadPool;
 
 namespace camal::workload {
 
+/// Observes executed batches. The arbitration layer implements this to
+/// account per-shard traffic and redistribute memory between batches;
+/// anything deterministic that wants to watch (or reconfigure) the engine
+/// at batch boundaries fits. Implementations may call `Reconfigure*` on
+/// the engine but must not execute operations on it.
+class BatchHook {
+ public:
+  virtual ~BatchHook() = default;
+
+  /// Called after each batch has executed, before the next is generated.
+  virtual void OnBatch(engine::StorageEngine* engine, const Operation* ops,
+                       size_t count) = 0;
+};
+
 /// Execution knobs.
 struct ExecutorConfig {
   size_t num_ops = 2000;
@@ -25,6 +39,11 @@ struct ExecutorConfig {
   /// >= 1. Larger batches give a sharded engine more work to fan across
   /// its pool between merge points.
   size_t batch_ops = 512;
+  /// Optional batch observer (not owned; must outlive the run). Null —
+  /// the default — leaves execution exactly as before. Because batches
+  /// are cut deterministically, a deterministic hook keeps the whole run
+  /// deterministic.
+  BatchHook* hook = nullptr;
 };
 
 /// What a workload run measured.

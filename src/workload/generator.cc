@@ -1,6 +1,7 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/status.h"
 
@@ -33,7 +34,47 @@ OperationGenerator::OperationGenerator(const model::WorkloadSpec& spec,
                                        KeySpace* keys,
                                        const GeneratorConfig& config,
                                        uint64_t seed)
-    : spec_(spec.Normalized()), keys_(keys), config_(config), rng_(seed) {}
+    : spec_(spec.Normalized()), keys_(keys), config_(config), rng_(seed) {
+  if (ShardBiasActive()) {
+    // Zipf weights over shard index, scaled so the hottest shard always
+    // accepts: shard s keeps a draw with probability (1/(s+1))^skew.
+    shard_accept_.resize(config_.num_shards);
+    for (size_t s = 0; s < config_.num_shards; ++s) {
+      shard_accept_[s] =
+          std::pow(1.0 / static_cast<double>(s + 1), config_.shard_skew);
+    }
+  }
+}
+
+template <typename Redraw>
+uint64_t OperationGenerator::RejectionSample(uint64_t key, Redraw redraw) {
+  // Bounded rejection: even a maximally cold draw terminates after a few
+  // iterations, and the bound keeps per-op generation cost O(1). The
+  // acceptance test consumes one uniform per rejected draw, so the
+  // sequence is a pure function of the seed.
+  constexpr int kMaxRedraws = 32;
+  for (int i = 0; i < kMaxRedraws; ++i) {
+    const size_t shard =
+        static_cast<size_t>(util::Mix64(key) % config_.num_shards);
+    const double accept = shard_accept_[shard];
+    if (accept >= 1.0 || rng_.NextDouble() < accept) break;
+    key = redraw();
+  }
+  return key;
+}
+
+uint64_t OperationGenerator::BiasedExistingKey() {
+  const uint64_t key = keys_->KeyAt(ExistingRank());
+  if (!ShardBiasActive()) return key;
+  return RejectionSample(key,
+                         [this] { return keys_->KeyAt(ExistingRank()); });
+}
+
+uint64_t OperationGenerator::BiasedMissingKey() {
+  const uint64_t key = keys_->MissingKey(&rng_);
+  if (!ShardBiasActive()) return key;
+  return RejectionSample(key, [this] { return keys_->MissingKey(&rng_); });
+}
 
 void OperationGenerator::SetSpec(const model::WorkloadSpec& spec) {
   spec_ = spec.Normalized();
@@ -57,22 +98,22 @@ Operation OperationGenerator::Next() {
   const double u = rng_.NextDouble();
   if (u < spec_.v) {
     op.type = OpType::kZeroResultLookup;
-    op.key = keys_->MissingKey(&rng_);
+    op.key = BiasedMissingKey();
   } else if (u < spec_.v + spec_.r) {
     op.type = OpType::kNonZeroResultLookup;
-    op.key = keys_->KeyAt(ExistingRank());
+    op.key = BiasedExistingKey();
   } else if (u < spec_.v + spec_.r + spec_.q) {
     op.type = OpType::kRangeLookup;
-    op.key = keys_->KeyAt(ExistingRank());
+    op.key = BiasedExistingKey();
     op.scan_len = config_.scan_len;
   } else {
     if (spec_.delete_frac > 0.0 && rng_.Bernoulli(spec_.delete_frac)) {
       op.type = OpType::kDelete;
-      op.key = keys_->KeyAt(ExistingRank());
+      op.key = BiasedExistingKey();
     } else {
       op.type = OpType::kWrite;
       op.key = config_.insert_new_keys ? keys_->AppendKey()
-                                       : keys_->KeyAt(ExistingRank());
+                                       : BiasedExistingKey();
       op.value = next_value_++;
     }
   }

@@ -60,6 +60,16 @@ struct GeneratorConfig {
   /// When true, write operations insert new keys (growing the data); when
   /// false they update existing keys (steady state).
   bool insert_new_keys = false;
+  /// Per-tenant traffic hotness: when > 0 (and `num_shards` > 1), key
+  /// draws are rejection-resampled so shard s of a hash-partitioned
+  /// engine receives traffic proportional to 1/(s+1)^shard_skew — hot
+  /// low-index shards, cold high-index ones. 0 (the default) changes
+  /// nothing: the stream is bit-identical to the unbiased generator.
+  /// Inserted *new* keys stay unbiased (appending a key fixes its shard).
+  double shard_skew = 0.0;
+  /// Shard count of the served engine (the ShardedEngine partitioner
+  /// `Mix64(key) % num_shards`). Only read when `shard_skew` > 0.
+  size_t num_shards = 1;
 };
 
 /// Draws operations matching a WorkloadSpec's mix, key skew, and delete
@@ -77,6 +87,22 @@ class OperationGenerator {
  private:
   uint64_t ExistingRank();
 
+  /// True when per-shard traffic biasing is configured.
+  bool ShardBiasActive() const {
+    return config_.shard_skew > 0.0 && config_.num_shards > 1;
+  }
+
+  /// Existing-key / missing-key draws with the per-shard hotness bias
+  /// applied (plain draws when the bias is off — no extra randomness is
+  /// consumed, keeping the skew-off stream bit-identical).
+  uint64_t BiasedExistingKey();
+  uint64_t BiasedMissingKey();
+
+  /// Accepts or redraws `key` until its home shard passes the hotness
+  /// filter (bounded redraws keep generation O(1) per op).
+  template <typename Redraw>
+  uint64_t RejectionSample(uint64_t key, Redraw redraw);
+
   model::WorkloadSpec spec_;
   KeySpace* keys_;
   GeneratorConfig config_;
@@ -84,6 +110,9 @@ class OperationGenerator {
   std::unique_ptr<util::ZipfGenerator> zipf_;
   uint64_t zipf_domain_ = 0;
   uint64_t next_value_ = 1;
+  /// Per-shard acceptance probabilities (hottest shard = 1), built once
+  /// from (shard_skew, num_shards).
+  std::vector<double> shard_accept_;
 };
 
 }  // namespace camal::workload

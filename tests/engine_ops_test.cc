@@ -261,6 +261,100 @@ TEST(ExecuteOpsTest, DynamicTunerBitIdenticalWithEnginePool) {
   EXPECT_EQ(std::get<3>(serial), std::get<3>(pooled));
 }
 
+TEST(ExecuteOpsTest, ReconfigureShardMidPhaseStaysDeterministicAndCorrect) {
+  // An arbitration round lands between two batches of a phase: the
+  // reconfigured engine must produce bit-identical batched results at any
+  // pool size, and Scan must stay globally sorted and complete across the
+  // budget change.
+  const tune::SystemSetup setup = SmallSetup();
+  workload::KeySpace keys(setup.num_entries, setup.seed);
+  const std::vector<Op> ops = GenerateOps(setup, 3000, &keys, nullptr);
+  const size_t half = ops.size() / 2;
+
+  auto run = [&](util::ThreadPool* pool) {
+    workload::KeySpace run_keys(setup.num_entries, setup.seed);
+    auto eng = MakeLoadedEngine(setup, 4, run_keys);
+    eng->set_pool(pool);
+    std::vector<OpResult> results(ops.size());
+    eng->ExecuteOps(ops.data(), half, results.data());
+    // The "arbiter": shrink shard 2, grow shard 1 by the same amount.
+    lsm::Options grown = eng->ShardOptionsSnapshot(1);
+    lsm::Options shrunk = eng->ShardOptionsSnapshot(2);
+    const uint64_t delta_bloom = shrunk.bloom_bits / 3;
+    const uint64_t delta_buffer = shrunk.buffer_bytes / 4;
+    shrunk.bloom_bits -= delta_bloom;
+    shrunk.buffer_bytes -= delta_buffer;
+    grown.bloom_bits += delta_bloom;
+    grown.buffer_bytes += delta_buffer;
+    eng->ReconfigureShard(1, grown);
+    eng->ReconfigureShard(2, shrunk);
+    eng->ExecuteOps(ops.data() + half, ops.size() - half,
+                    results.data() + half);
+    std::vector<lsm::Entry> scanned;
+    eng->Scan(0, 200, &scanned);
+    return std::make_pair(std::move(results), std::move(scanned));
+  };
+
+  const auto serial = run(nullptr);
+  for (int threads : {2, 4}) {
+    util::ThreadPool pool(threads);
+    const auto pooled = run(&pool);
+    ExpectSameResults(pooled.first, serial.first);
+    ASSERT_EQ(pooled.second.size(), serial.second.size());
+    for (size_t i = 0; i < serial.second.size(); ++i) {
+      EXPECT_EQ(pooled.second[i].key, serial.second[i].key);
+      if (i > 0) {
+        EXPECT_LT(serial.second[i - 1].key, serial.second[i].key);
+      }
+    }
+  }
+}
+
+TEST(ExecuteOpsTest, ExecuteWithReconfiguringHookIsBatchDeterministic) {
+  // workload::Execute with a hook that retunes a shard after a fixed
+  // batch (an arbitration-triggered ReconfigureShard landing mid-phase):
+  // identical streams must produce identical results at any pool size.
+  const tune::SystemSetup setup = SmallSetup();
+
+  class RetuneOnceHook : public workload::BatchHook {
+   public:
+    void OnBatch(engine::StorageEngine* engine, const workload::Operation*,
+                 size_t) override {
+      if (++batches_ != 2) return;
+      lsm::Options opts = engine->ShardOptionsSnapshot(3);
+      opts.bloom_bits /= 2;
+      opts.buffer_bytes = opts.buffer_bytes * 3 / 4;
+      engine->ReconfigureShard(3, opts);
+    }
+    int batches_ = 0;
+  };
+
+  auto run = [&](util::ThreadPool* pool) {
+    workload::KeySpace keys(setup.num_entries, setup.seed);
+    auto eng = MakeLoadedEngine(setup, 4, keys);
+    eng->set_pool(pool);
+    RetuneOnceHook hook;
+    workload::ExecutorConfig exec;
+    exec.num_ops = 2000;
+    exec.batch_ops = 400;
+    exec.seed = 31;
+    exec.generator.scan_len = setup.scan_len;
+    exec.hook = &hook;
+    return workload::Execute(eng.get(),
+                             model::WorkloadSpec{0.2, 0.3, 0.2, 0.3}, exec,
+                             &keys);
+  };
+
+  const workload::ExecutionResult serial = run(nullptr);
+  util::ThreadPool pool(4);
+  const workload::ExecutionResult pooled = run(&pool);
+  EXPECT_EQ(serial.total_ns, pooled.total_ns);  // bit-exact
+  EXPECT_EQ(serial.total_ios, pooled.total_ios);
+  EXPECT_EQ(serial.lookups_found, pooled.lookups_found);
+  EXPECT_EQ(serial.latency_ns.Quantile(0.99),
+            pooled.latency_ns.Quantile(0.99));
+}
+
 TEST(ExecuteOpsTest, EvaluatorEnginePoolDoesNotChangeMeasurements) {
   tune::SystemSetup setup = SmallSetup();
   setup.num_shards = 4;

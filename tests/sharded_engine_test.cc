@@ -273,6 +273,90 @@ TEST(ShardedEngineTest, OneShardBitIdenticalToDirectTree) {
   EXPECT_EQ(tree.counters().merges, eng.AggregateCounters().merges);
 }
 
+TEST(ShardedEngineTest, PerShardObservabilityAccessors) {
+  ShardedEngine eng(3, SmallOptions(), QuietDevice());
+  for (uint64_t key = 2; key <= 2 * 3000; key += 2) eng.Put(key, key);
+  eng.FlushMemtable();
+
+  sim::DeviceSnapshot cost_sum;
+  EngineCounters counter_sum;
+  uint64_t entry_sum = 0;
+  for (size_t s = 0; s < eng.NumShards(); ++s) {
+    // Options snapshot reflects the live per-shard configuration...
+    EXPECT_EQ(eng.ShardOptionsSnapshot(s).bloom_bits,
+              eng.shard(s)->options().bloom_bits);
+    // ...the budget view is exactly its memory fields...
+    const ShardBudget budget = eng.ShardBudgetSnapshot(s);
+    EXPECT_EQ(budget.buffer_bytes, eng.shard(s)->options().buffer_bytes);
+    EXPECT_EQ(budget.bloom_bits, eng.shard(s)->options().bloom_bits);
+    EXPECT_EQ(budget.TotalBits(),
+              8 * budget.buffer_bytes + budget.bloom_bits +
+                  8 * budget.block_cache_bytes);
+    // ...and per-shard cost/counters decompose the aggregates.
+    cost_sum += eng.ShardCostSnapshot(s);
+    counter_sum += eng.ShardCounters(s);
+    entry_sum += eng.ShardEntries(s);
+  }
+  EXPECT_DOUBLE_EQ(cost_sum.elapsed_ns, eng.CostSnapshot().elapsed_ns);
+  EXPECT_EQ(cost_sum.block_writes, eng.CostSnapshot().block_writes);
+  EXPECT_EQ(counter_sum.flushes, eng.AggregateCounters().flushes);
+  EXPECT_EQ(counter_sum.merges, eng.AggregateCounters().merges);
+  EXPECT_EQ(entry_sum, eng.TotalEntries());
+}
+
+TEST(ShardedEngineTest, SingleTreeObservabilityDefaults) {
+  sim::Device device(QuietDevice());
+  lsm::LsmTree tree(SmallOptions(), &device);
+  for (uint64_t key = 2; key <= 600; key += 2) tree.Put(key, key);
+  engine::StorageEngine& eng = tree;
+  EXPECT_EQ(eng.ShardOptionsSnapshot(0).buffer_bytes,
+            SmallOptions().buffer_bytes);
+  EXPECT_EQ(eng.ShardBudgetSnapshot(0).bloom_bits, SmallOptions().bloom_bits);
+  EXPECT_DOUBLE_EQ(eng.ShardCostSnapshot(0).elapsed_ns,
+                   eng.CostSnapshot().elapsed_ns);
+  EXPECT_EQ(eng.ShardCounters(0).flushes, eng.AggregateCounters().flushes);
+}
+
+TEST(ShardedEngineTest, UnevenArbiterBudgetsConserveTheTotalAndServe) {
+  // The arbitration contract on the engine side: per-shard options with
+  // uneven budgets applied through ReconfigureShard must be reported back
+  // verbatim, never exceed the original system total, and keep the data
+  // fully readable.
+  const lsm::Options total = SmallOptions();
+  ShardedEngine eng(4, total, QuietDevice());
+  for (uint64_t key = 2; key <= 2000; key += 2) eng.Put(key, key / 2);
+
+  const uint64_t total_bits =
+      4 * ShardBudget::FromOptions(ShardedEngine::ShardOptions(total, 4))
+              .TotalBits();
+  // Move one quarter of shard 3's budget to shard 0 (a typical arbiter
+  // outcome: hot shard up, cold shard down, others untouched).
+  lsm::Options hot = eng.ShardOptionsSnapshot(0);
+  lsm::Options cold = eng.ShardOptionsSnapshot(3);
+  const uint64_t moved_bloom = cold.bloom_bits / 2;
+  const uint64_t moved_buffer = cold.buffer_bytes / 4;
+  cold.bloom_bits -= moved_bloom;
+  cold.buffer_bytes -= moved_buffer;
+  hot.bloom_bits += moved_bloom;
+  hot.buffer_bytes += moved_buffer;
+  eng.ReconfigureShard(0, hot);
+  eng.ReconfigureShard(3, cold);
+
+  EXPECT_EQ(eng.ShardBudgetSnapshot(0).bloom_bits, hot.bloom_bits);
+  EXPECT_EQ(eng.ShardBudgetSnapshot(3).buffer_bytes, cold.buffer_bytes);
+  uint64_t applied = 0;
+  for (size_t s = 0; s < eng.NumShards(); ++s) {
+    applied += eng.ShardBudgetSnapshot(s).TotalBits();
+  }
+  EXPECT_LE(applied, total_bits);
+
+  uint64_t value = 0;
+  for (uint64_t key = 2; key <= 2000; key += 2) {
+    ASSERT_TRUE(eng.Get(key, &value)) << "key " << key;
+    EXPECT_EQ(value, key / 2);
+  }
+}
+
 TEST(ShardedEngineTest, ShardsUseUncorrelatedJitterStreams) {
   // Same config in every shard, jittered I/O on: had the shards shared one
   // jitter seed, identical op sequences would cost identical time.

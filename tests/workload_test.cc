@@ -243,5 +243,47 @@ TEST(ShiftDetectorTest, DeletesCountAsWrites) {
   EXPECT_NEAR(det.LastWindowSpec().w, 1.0, 1e-9);
 }
 
+TEST(GeneratorTest, ShardSkewConcentratesTrafficOnHotShards) {
+  const size_t num_shards = 4;
+  KeySpace keys(8000, 42);
+  GeneratorConfig cfg;
+  cfg.shard_skew = 1.0;
+  cfg.num_shards = num_shards;
+  OperationGenerator gen(model::WorkloadSpec{0.2, 0.3, 0.2, 0.3}, &keys, cfg,
+                         /*seed=*/9);
+  std::vector<size_t> hits(num_shards, 0);
+  for (int i = 0; i < 8000; ++i) {
+    const Operation op = gen.Next();
+    if (op.type == OpType::kRangeLookup) continue;  // probes every shard
+    ++hits[util::Mix64(op.key) % num_shards];
+  }
+  // Zipf(1.0) over shard index: strictly decreasing, and the hottest
+  // shard must see several times the coldest's traffic.
+  for (size_t s = 1; s < num_shards; ++s) {
+    EXPECT_LT(hits[s], hits[s - 1]) << "shard " << s;
+  }
+  EXPECT_GT(hits[0], 3 * hits[num_shards - 1]);
+}
+
+TEST(GeneratorTest, ZeroShardSkewIsBitIdenticalToUnbiasedStream) {
+  KeySpace keys_a(2000, 42);
+  KeySpace keys_b(2000, 42);
+  GeneratorConfig plain;
+  GeneratorConfig zero_skew;
+  zero_skew.shard_skew = 0.0;
+  zero_skew.num_shards = 8;  // must be inert while skew is 0
+  OperationGenerator gen_a(model::WorkloadSpec{0.2, 0.3, 0.2, 0.3}, &keys_a,
+                           plain, /*seed=*/5);
+  OperationGenerator gen_b(model::WorkloadSpec{0.2, 0.3, 0.2, 0.3}, &keys_b,
+                           zero_skew, /*seed=*/5);
+  for (int i = 0; i < 3000; ++i) {
+    const Operation a = gen_a.Next();
+    const Operation b = gen_b.Next();
+    ASSERT_EQ(static_cast<int>(a.type), static_cast<int>(b.type)) << i;
+    ASSERT_EQ(a.key, b.key) << i;
+    ASSERT_EQ(a.value, b.value) << i;
+  }
+}
+
 }  // namespace
 }  // namespace camal::workload
