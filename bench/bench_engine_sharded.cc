@@ -1,6 +1,5 @@
-// Sharded serving sweep: throughput and simulated latency of
-// engine::ShardedEngine across shard counts x thread counts, in two
-// serving modes:
+// Sharded serving sweep: throughput and engine-attributed latency across
+// backends x shard counts x thread counts, in two serving modes:
 //
 //   serial — T independent tenants (one engine each, S shards per engine)
 //            fanned across a T-worker pool via workload::ExecuteBatch;
@@ -9,13 +8,18 @@
 //            devices inside one caller thread).
 //   async  — the same T tenants served one after another, each engine
 //            fanning its batched ops across a shared pool of the same
-//            `threads` workers (ShardedEngine::ExecuteOps shard fan-out).
+//            `threads` workers (per-shard submission-list fan-out).
 //            Wall-clock scales with min(shards, threads).
 //
-// Total operation count is identical in both modes, and the simulated
-// metrics (latency, I/O) are bit-identical between modes and at any
-// thread count — only wall-clock moves. The async column is the payoff of
-// the batched op pipeline: ops/sec finally improves with shard count.
+// Backends (the ROADMAP's multi-backend comparison):
+//
+//   sim  — engine::ShardedEngine over simulated devices. Latency/IO
+//          metrics are simulated, bit-identical between modes and at any
+//          thread count — only wall-clock moves.
+//   file — engine::FileEngine over real files (O_DIRECT when the
+//          filesystem allows). Latency metrics are real monotonic-clock
+//          measurements; I/O counts are real (and deterministic given
+//          the op stream), latencies vary run to run.
 //
 // Flags:
 //   --shards=N    largest shard count swept (default 8; swept as 1,2,4,..N)
@@ -23,6 +27,9 @@
 //   --ops=N       operations per tenant (default 4000)
 //   --entries=N   initially loaded entries per tenant (default 8000)
 //   --mode=M      serial | async | both (default both)
+//   --backend=B   sim | file | both (default sim: the historical sweep)
+//   --workdir=P   base directory for file-backend run files (default:
+//                 system temp dir; use a tmpfs path for CI smoke)
 //   --arbiter=A   off | periodic — per-tenant memory arbitration
 //                 (default off: the even-split baseline)
 //   --skew=F      per-shard Zipf traffic hotness (default 0: uniform);
@@ -42,6 +49,7 @@
 
 #include "bench_common.h"
 #include "camal/memory_arbiter.h"
+#include "engine/file_engine.h"
 #include "engine/sharded_engine.h"
 #include "workload/executor.h"
 #include "workload/generator.h"
@@ -50,6 +58,7 @@ namespace camal::bench {
 namespace {
 
 struct SweepRow {
+  const char* backend = "sim";
   const char* mode = "serial";
   const char* arbiter = "off";
   double skew = 0.0;
@@ -75,12 +84,15 @@ struct SweepConfig {
   uint64_t entries_per_tenant = 8000;
   bool run_serial = true;
   bool run_async = true;
+  bool run_sim = true;
+  bool run_file = false;
+  std::string workdir;  // file backend; empty = system temp dir
   bool arbiter = false;
   double skew = 0.0;
 };
 
 SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
-                 bool async) {
+                 bool async, bool file_backend) {
   tune::SystemSetup setup;
   setup.num_entries = cfg.entries_per_tenant;
   setup.total_memory_bits = 16 * cfg.entries_per_tenant;
@@ -89,20 +101,34 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
   const workload::KeySpace keys(setup.num_entries, setup.seed);
   const model::WorkloadSpec mix{0.2, 0.3, 0.2, 0.3};
 
-  // T tenants, each its own engine over its own device(s): jitter streams
-  // are derived per tenant so tenants are independent but deterministic.
+  // T tenants, each its own engine over its own device(s)/file set(s):
+  // sim jitter streams are derived per tenant so tenants are independent
+  // but deterministic; file tenants each own a unique directory.
   std::unique_ptr<util::ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
-  std::vector<std::unique_ptr<engine::ShardedEngine>> tenants;
+  std::vector<std::unique_ptr<engine::StorageEngine>> tenants;
   std::vector<std::unique_ptr<tune::MemoryArbiter>> arbiters;
   std::vector<workload::ExecuteJob> jobs;
   for (size_t t = 0; t < threads; ++t) {
-    tenants.push_back(std::make_unique<engine::ShardedEngine>(
-        shards, config.ToOptions(setup),
-        setup.MakeDeviceConfig(/*salt=*/t)));
-    // Async mode: the engine fans each batch across the shared pool
-    // (shard-level parallelism); tenants then run one at a time.
-    if (async) tenants.back()->set_pool(pool.get());
+    if (file_backend) {
+      engine::FileEngineConfig fcfg;
+      if (!cfg.workdir.empty()) {
+        fcfg.workdir = cfg.workdir + "/cell_" +
+                       std::to_string(engine::FileEngine::NextUniqueId());
+      }
+      auto fe = std::make_unique<engine::FileEngine>(
+          shards, config.ToOptions(setup), fcfg);
+      if (async) fe->set_pool(pool.get());
+      tenants.push_back(std::move(fe));
+    } else {
+      auto se = std::make_unique<engine::ShardedEngine>(
+          shards, config.ToOptions(setup),
+          setup.MakeDeviceConfig(/*salt=*/t));
+      // Async mode: the engine fans each batch across the shared pool
+      // (shard-level parallelism); tenants then run one at a time.
+      if (async) se->set_pool(pool.get());
+      tenants.push_back(std::move(se));
+    }
     workload::BulkLoad(tenants.back().get(), keys);
     workload::ExecuteJob job;
     job.engine = tenants.back().get();
@@ -142,6 +168,7 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
   const auto stop = std::chrono::steady_clock::now();
 
   SweepRow row;
+  row.backend = file_backend ? "file" : "sim";
   row.mode = async ? "async" : "serial";
   row.arbiter = (cfg.arbiter && shards > 1) ? "periodic" : "off";
   row.skew = cfg.skew;
@@ -165,7 +192,7 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
   // Per-shard columns from tenant 0 (tenants are statistically identical;
   // one tenant keeps the artifact small): where the budget ended up, how
   // many entries each shard holds, and each shard's cost clock.
-  const engine::ShardedEngine& t0 = *tenants.front();
+  const engine::StorageEngine& t0 = *tenants.front();
   for (size_t s = 0; s < t0.NumShards(); ++s) {
     row.shard_budget_bits.push_back(t0.ShardBudgetSnapshot(s).TotalBits());
     row.shard_entries.push_back(t0.ShardEntries(s));
@@ -207,13 +234,14 @@ void WriteJson(const std::string& path, const SweepConfig& cfg,
   for (size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(f,
-                 "    {\"mode\": \"%s\", \"arbiter\": \"%s\", "
+                 "    {\"backend\": \"%s\", \"mode\": \"%s\", "
+                 "\"arbiter\": \"%s\", "
                  "\"skew\": %.3f, \"shards\": %zu, \"threads\": %zu, "
                  "\"wall_ms\": %.3f, \"ops_per_sec\": %.1f, "
                  "\"sim_mean_us\": %.3f, \"sim_p99_us\": %.3f, "
                  "\"sim_ios_per_op\": %.4f, ",
-                 r.mode, r.arbiter, r.skew, r.shards, r.threads, r.wall_ms,
-                 r.ops_per_sec, r.sim_mean_us, r.sim_p99_us,
+                 r.backend, r.mode, r.arbiter, r.skew, r.shards, r.threads,
+                 r.wall_ms, r.ops_per_sec, r.sim_mean_us, r.sim_p99_us,
                  r.sim_ios_per_op);
     print_u64_array("shard_budget_bits", r.shard_budget_bits);
     std::fprintf(f, ", ");
@@ -232,36 +260,43 @@ void Run(const SweepConfig& cfg, const std::string& json_path) {
               "mix v/r/q/w = 0.2/0.3/0.2/0.3\n"
               "serial = tenant-parallel, shard-serial; "
               "async = tenant-serial, shard-parallel (same total ops)\n"
+              "sim = simulated device costs; file = real-IO costs "
+              "(monotonic clocks)\n"
               "arbiter=%s, shard skew=%.2f\n\n",
               cfg.ops_per_tenant,
               static_cast<unsigned long long>(cfg.entries_per_tenant),
               cfg.arbiter ? "periodic" : "off", cfg.skew);
-  std::printf("%7s %7s %8s %9s %11s %12s %11s %8s\n", "mode", "shards",
-              "tenants", "wall ms", "ops/sec", "sim mean us", "sim p99 us",
+  std::printf("%7s %7s %7s %8s %9s %11s %12s %11s %8s\n", "backend", "mode",
+              "shards", "tenants", "wall ms", "ops/sec", "mean us", "p99 us",
               "ios/op");
-  PrintRule(80);
+  PrintRule(88);
 
   std::vector<SweepRow> rows;
-  for (int async = 0; async <= 1; ++async) {
-    if (async == 0 && !cfg.run_serial) continue;
-    if (async == 1 && !cfg.run_async) continue;
-    for (size_t shards = 1; shards <= cfg.max_shards; shards *= 2) {
-      for (size_t threads = 1; threads <= cfg.max_threads; threads *= 2) {
-        const SweepRow row = RunCell(cfg, shards, threads, async == 1);
-        std::printf("%7s %7zu %8zu %9.1f %11.0f %12.2f %11.2f %8.3f\n",
-                    row.mode, row.shards, row.threads, row.wall_ms,
-                    row.ops_per_sec, row.sim_mean_us, row.sim_p99_us,
-                    row.sim_ios_per_op);
-        if (cfg.arbiter && row.shards > 1) {
-          // Where tenant 0's budget settled (even split when no round
-          // moved memory).
-          std::printf("        budgets Kb:");
-          for (uint64_t bits : row.shard_budget_bits) {
-            std::printf(" %.0f", static_cast<double>(bits) / 1024.0);
+  for (int file = 0; file <= 1; ++file) {
+    if (file == 0 && !cfg.run_sim) continue;
+    if (file == 1 && !cfg.run_file) continue;
+    for (int async = 0; async <= 1; ++async) {
+      if (async == 0 && !cfg.run_serial) continue;
+      if (async == 1 && !cfg.run_async) continue;
+      for (size_t shards = 1; shards <= cfg.max_shards; shards *= 2) {
+        for (size_t threads = 1; threads <= cfg.max_threads; threads *= 2) {
+          const SweepRow row =
+              RunCell(cfg, shards, threads, async == 1, file == 1);
+          std::printf("%7s %7s %7zu %8zu %9.1f %11.0f %12.2f %11.2f %8.3f\n",
+                      row.backend, row.mode, row.shards, row.threads,
+                      row.wall_ms, row.ops_per_sec, row.sim_mean_us,
+                      row.sim_p99_us, row.sim_ios_per_op);
+          if (cfg.arbiter && row.shards > 1) {
+            // Where tenant 0's budget settled (even split when no round
+            // moved memory).
+            std::printf("        budgets Kb:");
+            for (uint64_t bits : row.shard_budget_bits) {
+              std::printf(" %.0f", static_cast<double>(bits) / 1024.0);
+            }
+            std::printf("\n");
           }
-          std::printf("\n");
+          rows.push_back(row);
         }
-        rows.push_back(row);
       }
     }
   }
@@ -321,6 +356,22 @@ int main(int argc, char** argv) {
                      "invalid --mode value '%s' (serial|async|both)\n", mode);
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      const char* backend = argv[i] + 10;
+      if (std::strcmp(backend, "sim") == 0) {
+        cfg.run_file = false;
+      } else if (std::strcmp(backend, "file") == 0) {
+        cfg.run_sim = false;
+        cfg.run_file = true;
+      } else if (std::strcmp(backend, "both") == 0) {
+        cfg.run_file = true;
+      } else {
+        std::fprintf(stderr, "invalid --backend value '%s' (sim|file|both)\n",
+                     backend);
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--workdir=", 10) == 0) {
+      cfg.workdir = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--arbiter=", 10) == 0) {
       const char* arb = argv[i] + 10;
       if (std::strcmp(arb, "periodic") == 0) {

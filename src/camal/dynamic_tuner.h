@@ -19,17 +19,29 @@ class MemoryArbiter;
 using RecommendFn = std::function<TuningConfig(const model::WorkloadSpec&,
                                                const model::SystemParams&)>;
 
-/// Dynamic system mode (Section 6): drives a live storage engine through a
-/// changing operation stream, detecting workload shifts with (p, tau)
-/// threshold detectors and lazily reconfiguring. Because the stream keeps
-/// inserting new entries, the data grows; the target scale passed to the
-/// recommender grows accordingly (extrapolation strategy).
+/// \brief Dynamic system mode (Section 6): drives a live storage engine
+/// through a changing operation stream, detecting workload shifts with
+/// (p, tau) threshold detectors and lazily reconfiguring.
 ///
-/// The tuner is shard-aware: it keeps one `ShiftDetector` per engine shard
-/// and retunes each shard independently, from its *local* operation mix at
-/// its *local* data scale, through `StorageEngine::ReconfigureShard`. On a
-/// single-shard engine (a bare `lsm::LsmTree`) this degenerates to exactly
-/// the original one-detector, whole-tree behavior.
+/// **Contract.** Because the stream keeps inserting new entries, the data
+/// grows; the target scale passed to the recommender grows accordingly
+/// (extrapolation strategy). The tuner is shard-aware: it keeps one
+/// `ShiftDetector` per engine shard and retunes each shard independently,
+/// from its *local* operation mix at its *local* data scale, through
+/// `StorageEngine::ReconfigureShard`. On a single-shard engine (a bare
+/// `lsm::LsmTree`) this degenerates to exactly the original one-detector,
+/// whole-tree behavior. The tuner targets the abstract `StorageEngine`
+/// surface only, so it drives the simulated and the real-IO backend
+/// identically.
+///
+/// **Thread-safety.** Externally synchronized; `RunPhase` owns the engine
+/// for its duration (engine-internal shard fan-out still applies).
+///
+/// **Determinism.** Batches are cut exactly at detector firings, so
+/// retunes land at the op where op-at-a-time serving would place them;
+/// on the simulated backend a phase is bit-reproducible at any engine
+/// thread count. Detector decisions depend only on the op stream, so
+/// reconfiguration points are deterministic on every backend.
 class DynamicTuner {
  public:
   struct Params {

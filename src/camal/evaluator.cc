@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "camal/memory_arbiter.h"
+#include "engine/file_engine.h"
 #include "engine/sharded_engine.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -27,12 +28,31 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
                                uint64_t salt) const {
   // The dataset itself is fixed per setup (same keys for every sample).
   workload::KeySpace keys(setup_.num_entries, setup_.seed);
-  // One shard is bit-identical to the historical direct-tree path: the
-  // engine wraps a single tree over a device with exactly this config.
-  engine::ShardedEngine eng(std::max<size_t>(1, setup_.num_shards),
-                            config.ToOptions(setup_),
-                            setup_.MakeDeviceConfig(salt));
-  eng.set_pool(engine_pool_.get());
+  const size_t num_shards = std::max<size_t>(1, setup_.num_shards);
+  std::unique_ptr<engine::StorageEngine> owned;
+  if (setup_.backend == EngineBackend::kFile) {
+    // Real-IO backend: a unique file set per measurement (concurrent
+    // MakeSamples measurements must never share a directory).
+    engine::FileEngineConfig fcfg;
+    const std::string base =
+        setup_.file_workdir.empty()
+            ? std::string()
+            : setup_.file_workdir + "/m_" +
+                  std::to_string(engine::FileEngine::NextUniqueId());
+    fcfg.workdir = base;
+    auto fe = std::make_unique<engine::FileEngine>(
+        num_shards, config.ToOptions(setup_), fcfg);
+    fe->set_pool(engine_pool_.get());
+    owned = std::move(fe);
+  } else {
+    // One shard is bit-identical to the historical direct-tree path: the
+    // engine wraps a single tree over a device with exactly this config.
+    auto se = std::make_unique<engine::ShardedEngine>(
+        num_shards, config.ToOptions(setup_), setup_.MakeDeviceConfig(salt));
+    se->set_pool(engine_pool_.get());
+    owned = std::move(se);
+  }
+  engine::StorageEngine& eng = *owned;
   workload::BulkLoad(&eng, keys);
   // Phase-randomizing warmup: a salt-dependent burst of updates so each
   // measurement samples a different compaction-fullness phase. Without it,

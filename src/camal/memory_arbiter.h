@@ -34,21 +34,33 @@ struct ArbiterOptions {
   double hysteresis = 1.1;
 };
 
-/// Per-tenant memory arbitration: observes per-shard load (operation mix
-/// and volume, entry counts) over windows of `period_ops` operations and
-/// periodically redistributes buffer/Bloom/block-cache memory between the
-/// shards of a `StorageEngine` by model-priced marginal benefit — the
-/// multi-tenant generalization of the paper's Mb/Mf split round. The
-/// fixed system total is conserved (budgets only move, never grow), every
-/// shard keeps at least its floor, and all decisions are a deterministic
-/// function of the observed operation stream and engine state.
+/// \brief Per-tenant memory arbitration: observes per-shard load
+/// (operation mix and volume, entry counts) over windows of `period_ops`
+/// operations and periodically redistributes buffer/Bloom/block-cache
+/// memory between the shards of a `StorageEngine` by model-priced
+/// marginal benefit — the multi-tenant generalization of the paper's
+/// Mb/Mf split round.
 ///
-/// The arbiter is a `workload::BatchHook`: attach it to an
-/// `ExecutorConfig` (static serving, `Evaluator` with
+/// **Contract.** The fixed system total is conserved (budgets only move,
+/// never grow), every shard keeps at least its floor, and the arbiter
+/// talks only to the `StorageEngine` surface (`ShardOptionsSnapshot`,
+/// `ShardEntries`, `ReconfigureShard`) — it works unchanged against any
+/// backend, simulated or real-IO. The arbiter is a `workload::BatchHook`:
+/// attach it to an `ExecutorConfig` (static serving, `Evaluator` with
 /// `SystemSetup::arbitration`) or to a `DynamicTuner` (dynamic serving,
 /// composing with per-shard retunes, which then respect arbitrated
-/// budgets). Not attached — today's even split — is the exact pre-arbiter
+/// budgets). Not attached — the even split — is the exact pre-arbiter
 /// behavior.
+///
+/// **Thread-safety.** Externally synchronized, like the engine it
+/// arbitrates: `OnBatch` fires on the execution thread between batches,
+/// never concurrently with operations.
+///
+/// **Determinism.** All decisions are a deterministic function of the
+/// observed operation stream and engine state (budget moves are priced on
+/// op-mix windows, not on measured cost clocks — see `Rebalance`), so a
+/// run with an arbiter attached is reproducible on the simulated backend
+/// and produces identical budget trajectories on the real backend.
 class MemoryArbiter : public workload::BatchHook {
  public:
   /// `total_options` is the system-wide configuration whose memory the

@@ -20,6 +20,14 @@ namespace camal::tune {
 /// modeled marginal benefit every `arbiter_period_ops` operations.
 enum class ArbitrationMode { kOff, kPeriodic };
 
+/// Which storage backend measurement runs execute on: `kSim` — the
+/// simulated-device engine (`engine::ShardedEngine`, bit-reproducible,
+/// the default and the basis of every figure) — or `kFile` — the real-IO
+/// `engine::FileEngine`, whose costs come from monotonic clocks over
+/// actual file reads/writes (used to validate that model-driven tunings
+/// transfer to a real device).
+enum class EngineBackend { kSim, kFile };
+
 /// The experimental scale: data size, memory budget, device, and query
 /// volumes. One SystemSetup corresponds to one "database server" in the
 /// paper's evaluation.
@@ -68,6 +76,16 @@ struct SystemSetup {
   /// index; see `workload::GeneratorConfig::shard_skew`). 0 = uniform
   /// tenant traffic, today's behavior.
   double shard_skew = 0.0;
+  /// Storage backend measurement runs execute on. `kSim` (the default)
+  /// is bit-identical to the pre-backend-selection evaluator; `kFile`
+  /// measures on the real-IO `engine::FileEngine` with monotonic-clock
+  /// costs (latencies then vary run to run; I/O counts stay
+  /// deterministic).
+  EngineBackend backend = EngineBackend::kSim;
+  /// Base directory for `kFile` measurement file sets; each measurement
+  /// creates (and removes) a unique subdirectory. Empty = the system
+  /// temp dir.
+  std::string file_workdir;
 
   /// The closed-form model's view of this setup.
   model::SystemParams ToModelParams() const;

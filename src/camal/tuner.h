@@ -59,6 +59,7 @@ struct TunerOptions {
 /// Common interface of all tuning strategies.
 class TunerBase {
  public:
+  /// Tuners are owned polymorphically by the bench harnesses.
   virtual ~TunerBase() = default;
 
   /// Gathers training samples for the given workloads (the expensive

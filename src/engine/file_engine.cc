@@ -1,0 +1,906 @@
+#include "engine/file_engine.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/sharded_engine.h"
+#include "lsm/bloom.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace camal::engine {
+
+// Implementation-detail types live in a named namespace (not an anonymous
+// one) because they appear as members of FileEngine::Shard, which has
+// external linkage.
+namespace fileio {
+
+namespace fs = std::filesystem;
+
+/// On-disk record: fixed 24 bytes so blocks decode by offset arithmetic.
+/// The layout is private to this engine (run files are ephemeral
+/// measurement artifacts, not an interchange format).
+struct DiskEntry {
+  uint64_t key = 0;
+  uint64_t value = 0;
+  uint64_t flags = 0;  // bit 0: tombstone
+};
+static_assert(sizeof(DiskEntry) == 24, "record layout must stay 24 bytes");
+
+constexpr uint64_t kTombstoneFlag = 1;
+
+/// Aborts with errno context; real-IO failures are environment errors the
+/// measurement cannot recover from (same policy as CAMAL_CHECK).
+inline void SysCheck(bool ok, const char* what, const std::string& path) {
+  if (ok) return;
+  std::fprintf(stderr, "FileEngine: %s failed for '%s': %s\n", what,
+               path.c_str(), std::strerror(errno));
+  std::abort();
+}
+
+/// Block-aligned heap buffer (O_DIRECT wants aligned reads and writes; the
+/// same buffers serve the buffered fallback).
+struct FreeDeleter {
+  void operator()(void* p) const { std::free(p); }
+};
+using AlignedBuf = std::unique_ptr<char[], FreeDeleter>;
+
+inline AlignedBuf AllocAligned(size_t bytes, size_t align) {
+  void* p = nullptr;
+  const int rc = posix_memalign(&p, align, bytes);
+  CAMAL_CHECK(rc == 0 && p != nullptr);
+  return AlignedBuf(static_cast<char*>(p));
+}
+
+inline double NowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// LRU block cache that carries block *contents* (unlike the simulated
+/// `lsm::BlockCache`, which only tracks hit/miss — a real backend must
+/// serve cached bytes, not just skip a charge).
+class ContentCache {
+ public:
+  explicit ContentCache(uint64_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  /// Returns the cached block (promoted to MRU) or nullptr.
+  const std::vector<char>* Lookup(uint64_t key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->second;
+  }
+
+  void Insert(uint64_t key, const std::vector<char>& content) {
+    if (capacity_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->second = content;
+      return;
+    }
+    lru_.emplace_front(key, content);
+    map_[key] = lru_.begin();
+    EvictToCapacity();
+  }
+
+  void Resize(uint64_t capacity_blocks) {
+    capacity_ = capacity_blocks;
+    EvictToCapacity();
+  }
+
+ private:
+  void EvictToCapacity() {
+    while (map_.size() > capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
+  uint64_t capacity_;
+  std::list<std::pair<uint64_t, std::vector<char>>> lru_;
+  std::unordered_map<
+      uint64_t, std::list<std::pair<uint64_t, std::vector<char>>>::iterator>
+      map_;
+};
+
+inline uint64_t CacheKey(uint64_t run_id, uint64_t block_idx) {
+  return (run_id << 22) | (block_idx & ((1ULL << 22) - 1));
+}
+
+/// One immutable sorted run persisted as an append-only file. Fence
+/// pointers (first key per block) and the Bloom filter stay in memory;
+/// block contents are fetched by pread.
+struct FileRun {
+  uint64_t id = 0;
+  std::string path;
+  int fd = -1;
+  uint64_t num_entries = 0;
+  std::vector<uint64_t> fence;  // first key of each block
+  lsm::BloomFilter filter;
+  uint64_t min_key = 0;
+  uint64_t max_key = 0;
+
+  ~FileRun() {
+    if (fd >= 0) ::close(fd);
+  }
+  size_t num_blocks() const { return fence.size(); }
+};
+using FileRunPtr = std::shared_ptr<FileRun>;
+
+/// Real per-shard cost clock: actual block reads/writes plus accumulated
+/// monotonic wall time, reported through the `sim::DeviceSnapshot`
+/// currency so the arbiter and bench observability read it unchanged.
+struct Clock {
+  uint64_t block_reads = 0;
+  uint64_t block_writes = 0;
+  double elapsed_ns = 0.0;
+
+  sim::DeviceSnapshot Snapshot() const {
+    return sim::DeviceSnapshot{block_reads, block_writes, elapsed_ns};
+  }
+};
+
+inline uint64_t EntriesPerBlock(uint64_t block_bytes) {
+  return block_bytes / sizeof(DiskEntry);
+}
+
+inline const DiskEntry* BlockRecords(const std::vector<char>& block) {
+  return reinterpret_cast<const DiskEntry*>(block.data());
+}
+
+inline lsm::Entry ToEntry(const DiskEntry& d) {
+  return lsm::Entry{d.key, d.value, (d.flags & kTombstoneFlag) != 0};
+}
+
+inline int OpenRead(const std::string& path, bool direct) {
+  int flags = O_RDONLY;
+  if (direct) flags |= O_DIRECT;
+  int fd = ::open(path.c_str(), flags);
+  if (fd < 0 && direct) fd = ::open(path.c_str(), O_RDONLY);
+  SysCheck(fd >= 0, "open", path);
+  return fd;
+}
+
+}  // namespace fileio
+
+/// One shard: a file set (levels of runs) plus memtable, Bloom filters,
+/// content cache, live options, and its own cost clock. All state is
+/// shard-local so per-shard submission lists can run concurrently.
+struct FileEngine::Shard {
+  lsm::Options options;
+  std::string dir;
+  std::map<uint64_t, lsm::Entry> memtable;
+  /// levels[l] holds runs oldest-to-newest (read newest first).
+  std::vector<std::vector<fileio::FileRunPtr>> levels;
+  fileio::ContentCache cache{0};
+  fileio::Clock clock;
+  EngineCounters counters;
+  uint64_t next_run_id = 1;
+  uint64_t disk_entries = 0;
+  /// pread target; block-aligned for O_DIRECT.
+  fileio::AlignedBuf scratch;
+};
+
+namespace {
+
+using fileio::AllocAligned;
+using fileio::BlockRecords;
+using fileio::DiskEntry;
+using fileio::EntriesPerBlock;
+using fileio::FileRun;
+using fileio::FileRunPtr;
+using fileio::kTombstoneFlag;
+using fileio::NowNs;
+using fileio::SysCheck;
+using fileio::ToEntry;
+namespace fs = std::filesystem;
+
+/// Fetches block `blk` of `run` into `out` (cache-aware unless
+/// `bypass_cache`; compaction input bypasses it, matching the simulated
+/// cache policy).
+void FetchBlock(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+                const FileRun& run, size_t blk, bool bypass_cache,
+                std::vector<char>* out) {
+  const uint64_t key = fileio::CacheKey(run.id, blk);
+  if (!bypass_cache) {
+    if (const std::vector<char>* hit = sh.cache.Lookup(key)) {
+      *out = *hit;
+      return;
+    }
+  }
+  const ssize_t n = ::pread(run.fd, sh.scratch.get(), cfg.block_bytes,
+                            static_cast<off_t>(blk * cfg.block_bytes));
+  SysCheck(n == static_cast<ssize_t>(cfg.block_bytes), "pread", run.path);
+  out->assign(sh.scratch.get(), sh.scratch.get() + cfg.block_bytes);
+  ++sh.clock.block_reads;
+  if (!bypass_cache) sh.cache.Insert(key, *out);
+}
+
+/// Builds one run file from sorted, deduplicated `entries`: serializes
+/// them into block-aligned pages, writes the file append-only (one pass,
+/// never modified again), and opens it for reads.
+FileRunPtr BuildRun(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+                    bool direct_io, std::vector<lsm::Entry> entries,
+                    double bloom_bits_per_key) {
+  CAMAL_CHECK(!entries.empty());
+  const uint64_t epb = EntriesPerBlock(cfg.block_bytes);
+  const size_t num_blocks = (entries.size() + epb - 1) / epb;
+
+  auto run = std::make_shared<FileRun>();
+  run->id = sh.next_run_id++;
+  run->path = sh.dir + "/run_" + std::to_string(run->id) + ".cam";
+  run->num_entries = entries.size();
+  run->min_key = entries.front().key;
+  run->max_key = entries.back().key;
+  run->filter = lsm::BloomFilter(entries.size(), bloom_bits_per_key);
+  run->fence.reserve(num_blocks);
+
+  fileio::AlignedBuf buf =
+      AllocAligned(num_blocks * cfg.block_bytes, cfg.block_bytes);
+  std::memset(buf.get(), 0, num_blocks * cfg.block_bytes);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const lsm::Entry& e = entries[i];
+    const size_t blk = i / epb;
+    const size_t slot = i % epb;
+    // Records pack densely within each page; pages start at multiples of
+    // block_bytes (24 does not divide 4096, so each page tail stays zero
+    // padding — never decoded, because per-block record counts derive
+    // from num_entries).
+    auto* records =
+        reinterpret_cast<DiskEntry*>(buf.get() + blk * cfg.block_bytes);
+    records[slot].key = e.key;
+    records[slot].value = e.value;
+    records[slot].flags = e.tombstone ? kTombstoneFlag : 0;
+    if (slot == 0) run->fence.push_back(e.key);
+    run->filter.Add(e.key);
+  }
+
+  int flags = O_WRONLY | O_CREAT | O_TRUNC;
+  if (direct_io) flags |= O_DIRECT;
+  int fd = ::open(run->path.c_str(), flags, 0644);
+  if (fd < 0 && direct_io) {
+    fd = ::open(run->path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  }
+  SysCheck(fd >= 0, "open(write)", run->path);
+  const size_t total = num_blocks * cfg.block_bytes;
+  size_t off = 0;
+  while (off < total) {
+    const ssize_t n =
+        ::pwrite(fd, buf.get() + off, total - off, static_cast<off_t>(off));
+    SysCheck(n > 0, "pwrite", run->path);
+    off += static_cast<size_t>(n);
+  }
+  if (cfg.sync_files) SysCheck(::fsync(fd) == 0, "fsync", run->path);
+  ::close(fd);
+  sh.clock.block_writes += num_blocks;
+
+  run->fd = fileio::OpenRead(run->path, direct_io);
+  return run;
+}
+
+uint64_t LevelEntries(const std::vector<FileRunPtr>& level) {
+  uint64_t total = 0;
+  for (const FileRunPtr& r : level) total += r->num_entries;
+  return total;
+}
+
+bool LevelViolates(const lsm::Options& opts,
+                   const std::vector<FileRunPtr>& level, size_t level_idx) {
+  if (level.empty()) return false;
+  if (level.size() > static_cast<size_t>(opts.MaxRunsPerLevel())) return true;
+  return static_cast<double>(LevelEntries(level)) >
+         opts.LevelCapacityEntries(static_cast<int>(level_idx));
+}
+
+/// Bits-per-key for a new run: the shard's Bloom budget spread uniformly
+/// over its (post-build) disk entries. Uniform rather than Monkey-curved:
+/// the real backend validates *budget* tunings; the per-level curve is a
+/// sim-side refinement.
+double BloomBpk(const FileEngine::Shard& sh, uint64_t incoming) {
+  const uint64_t total = std::max<uint64_t>(1, sh.disk_entries + incoming);
+  return std::min(50.0, static_cast<double>(sh.options.bloom_bits) /
+                            static_cast<double>(total));
+}
+
+/// Reads every entry of `run` sequentially (compaction input: bypasses the
+/// cache, counts real reads as compaction I/O).
+void ReadAllEntries(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+                    const FileRun& run, std::vector<lsm::Entry>* out) {
+  const uint64_t epb = EntriesPerBlock(cfg.block_bytes);
+  std::vector<char> block;
+  for (size_t blk = 0; blk < run.num_blocks(); ++blk) {
+    FetchBlock(sh, cfg, run, blk, /*bypass_cache=*/true, &block);
+    ++sh.counters.compaction_block_reads;
+    const uint64_t begin = blk * epb;
+    const uint64_t count = std::min(epb, run.num_entries - begin);
+    const DiskEntry* records = BlockRecords(block);
+    for (uint64_t i = 0; i < count; ++i) out->push_back(ToEntry(records[i]));
+  }
+}
+
+/// Merges every run of level `l` into one run pushed to level `l + 1`
+/// (newest-wins on duplicate keys; tombstones drop when the output
+/// becomes the deepest populated level), then unlinks the inputs.
+void MergeLevelDown(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+                    bool direct_io, size_t l) {
+  std::vector<FileRunPtr> inputs = std::move(sh.levels[l]);
+  sh.levels[l].clear();
+  if (sh.levels.size() <= l + 1) sh.levels.resize(l + 2);
+
+  bool deeper_data = false;
+  for (size_t d = l + 1; d < sh.levels.size(); ++d) {
+    if (!sh.levels[d].empty()) deeper_data = true;
+  }
+
+  // Newest-first insertion keeps the freshest version of each key (the
+  // level's runs are stored oldest-to-newest).
+  std::map<uint64_t, lsm::Entry> merged;
+  for (auto it = inputs.rbegin(); it != inputs.rend(); ++it) {
+    std::vector<lsm::Entry> entries;
+    ReadAllEntries(sh, cfg, **it, &entries);
+    for (const lsm::Entry& e : entries) merged.emplace(e.key, e);
+  }
+
+  std::vector<lsm::Entry> out;
+  out.reserve(merged.size());
+  for (auto& [key, entry] : merged) {
+    (void)key;
+    if (entry.tombstone && !deeper_data) continue;  // nothing left to shadow
+    out.push_back(entry);
+  }
+
+  uint64_t drained = 0;
+  for (const FileRunPtr& r : inputs) drained += r->num_entries;
+  sh.disk_entries -= drained;
+
+  if (!out.empty()) {
+    const uint64_t incoming = out.size();
+    FileRunPtr run =
+        BuildRun(sh, cfg, direct_io, std::move(out), BloomBpk(sh, incoming));
+    sh.counters.compaction_block_writes += run->num_blocks();
+    sh.disk_entries += run->num_entries;
+    sh.levels[l + 1].push_back(std::move(run));
+  }
+  ++sh.counters.merges;
+
+  for (const FileRunPtr& r : inputs) ::unlink(r->path.c_str());
+}
+
+/// Restores the level invariants (runs <= K, entries <= capacity) from
+/// level 0 downward, cascading merges as needed.
+void Normalize(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+               bool direct_io) {
+  for (size_t l = 0; l < sh.levels.size(); ++l) {
+    while (LevelViolates(sh.options, sh.levels[l], l)) {
+      MergeLevelDown(sh, cfg, direct_io, l);
+    }
+  }
+}
+
+/// Drains the memtable into a new level-0 run (no-op when empty).
+void FlushShard(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+                bool direct_io) {
+  if (sh.memtable.empty()) return;
+  std::vector<lsm::Entry> entries;
+  entries.reserve(sh.memtable.size());
+  for (const auto& [key, entry] : sh.memtable) {
+    (void)key;
+    entries.push_back(entry);
+  }
+  sh.memtable.clear();
+  if (sh.levels.empty()) sh.levels.resize(1);
+  const uint64_t incoming = entries.size();
+  FileRunPtr run =
+      BuildRun(sh, cfg, direct_io, std::move(entries), BloomBpk(sh, incoming));
+  sh.disk_entries += run->num_entries;
+  sh.levels[0].push_back(std::move(run));
+  ++sh.counters.flushes;
+  Normalize(sh, cfg, direct_io);
+}
+
+/// Untimed single-shard write (the public surface wraps these in the
+/// shard clock; ExecuteOps times them per op).
+void DoPut(FileEngine::Shard& sh, const FileEngineConfig& cfg, bool direct_io,
+           uint64_t key, uint64_t value, bool tombstone) {
+  if (sh.memtable.size() >= sh.options.BufferEntries()) {
+    FlushShard(sh, cfg, direct_io);
+  }
+  sh.memtable[key] = lsm::Entry{key, value, tombstone};
+}
+
+bool DoGet(FileEngine::Shard& sh, const FileEngineConfig& cfg, uint64_t key,
+           uint64_t* value) {
+  auto it = sh.memtable.find(key);
+  if (it != sh.memtable.end()) {
+    if (it->second.tombstone) return false;
+    if (value != nullptr) *value = it->second.value;
+    return true;
+  }
+  const uint64_t epb = EntriesPerBlock(cfg.block_bytes);
+  std::vector<char> block;
+  for (const auto& level : sh.levels) {
+    for (auto rit = level.rbegin(); rit != level.rend(); ++rit) {
+      const FileRun& run = **rit;
+      if (key < run.min_key || key > run.max_key) continue;
+      if (!run.filter.MayContain(key)) continue;
+      // Fence search: the block whose first key is the greatest <= key.
+      const auto fit =
+          std::upper_bound(run.fence.begin(), run.fence.end(), key);
+      const size_t blk =
+          static_cast<size_t>(std::distance(run.fence.begin(), fit)) - 1;
+      FetchBlock(sh, cfg, run, blk, /*bypass_cache=*/false, &block);
+      const uint64_t begin = blk * epb;
+      const uint64_t count = std::min(epb, run.num_entries - begin);
+      const DiskEntry* records = BlockRecords(block);
+      const DiskEntry* end = records + count;
+      const DiskEntry* found = std::lower_bound(
+          records, end, key,
+          [](const DiskEntry& d, uint64_t k) { return d.key < k; });
+      if (found != end && found->key == key) {
+        if (found->flags & kTombstoneFlag) return false;
+        if (value != nullptr) *value = found->value;
+        return true;
+      }
+      // Bloom false positive: the block read was paid in vain, exactly
+      // like the simulated engine's kNotFoundAfterIo outcome.
+    }
+  }
+  return false;
+}
+
+/// Shard-local range scan: merges the memtable slice with run cursors
+/// (newest wins, tombstones suppress), appending up to `max_entries` live
+/// entries to `out`. Block fetches are cache-aware real reads.
+size_t DoScanShard(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+                   uint64_t start_key, size_t max_entries,
+                   std::vector<lsm::Entry>* out) {
+  if (max_entries == 0) return 0;
+  const uint64_t epb = EntriesPerBlock(cfg.block_bytes);
+
+  struct Cursor {
+    const FileRun* run = nullptr;  // null for the memtable source
+    std::vector<lsm::Entry> mem;   // materialized memtable tail
+    uint64_t idx = 0;
+    uint64_t end = 0;
+    int64_t block = -1;
+    std::vector<char> block_data;
+  };
+  std::vector<Cursor> cursors;
+
+  {
+    // Newest source first: the whole memtable tail (tombstones in it can
+    // shadow run entries arbitrarily far into the scan).
+    Cursor mem;
+    for (auto it = sh.memtable.lower_bound(start_key); it != sh.memtable.end();
+         ++it) {
+      mem.mem.push_back(it->second);
+    }
+    mem.end = mem.mem.size();
+    cursors.push_back(std::move(mem));
+  }
+  for (const auto& level : sh.levels) {
+    for (auto rit = level.rbegin(); rit != level.rend(); ++rit) {
+      const FileRun& run = **rit;
+      Cursor c;
+      c.run = &run;
+      c.end = run.num_entries;
+      if (start_key <= run.min_key) {
+        c.idx = 0;
+      } else if (start_key > run.max_key) {
+        c.idx = c.end;
+      } else {
+        const auto fit =
+            std::upper_bound(run.fence.begin(), run.fence.end(), start_key);
+        const size_t blk =
+            static_cast<size_t>(std::distance(run.fence.begin(), fit)) - 1;
+        FetchBlock(sh, cfg, run, blk, /*bypass_cache=*/false, &c.block_data);
+        c.block = static_cast<int64_t>(blk);
+        const uint64_t begin = blk * epb;
+        const uint64_t count = std::min(epb, run.num_entries - begin);
+        const DiskEntry* records = BlockRecords(c.block_data);
+        uint64_t i = 0;
+        while (i < count && records[i].key < start_key) ++i;
+        // i == count means the next block's first key >= start_key (the
+        // fence search guarantees it).
+        c.idx = begin + i;
+      }
+      cursors.push_back(std::move(c));
+    }
+  }
+
+  auto entry_at = [&](Cursor& c) -> lsm::Entry {
+    if (c.run == nullptr) return c.mem[c.idx];
+    const auto blk = static_cast<int64_t>(c.idx / epb);
+    if (blk != c.block) {
+      FetchBlock(sh, cfg, *c.run, static_cast<size_t>(blk),
+                 /*bypass_cache=*/false, &c.block_data);
+      c.block = blk;
+    }
+    return ToEntry(BlockRecords(c.block_data)[c.idx % epb]);
+  };
+  auto key_at = [&](Cursor& c) { return entry_at(c).key; };
+
+  size_t added = 0;
+  while (added < max_entries) {
+    uint64_t min_key = std::numeric_limits<uint64_t>::max();
+    bool any = false;
+    for (Cursor& c : cursors) {
+      if (c.idx >= c.end) continue;
+      const uint64_t k = key_at(c);
+      if (!any || k < min_key) {
+        min_key = k;
+        any = true;
+      }
+    }
+    if (!any) break;
+    bool taken = false;
+    for (Cursor& c : cursors) {
+      if (c.idx >= c.end || key_at(c) != min_key) continue;
+      if (!taken) {
+        taken = true;
+        const lsm::Entry e = entry_at(c);
+        if (!e.tombstone) {
+          out->push_back(e);
+          ++added;
+        }
+      }
+      ++c.idx;
+    }
+  }
+  return added;
+}
+
+}  // namespace
+
+// ----------------------------------------------------- construction/teardown
+
+uint64_t FileEngine::NextUniqueId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
+FileEngine::FileEngine(size_t num_shards, const lsm::Options& total_options,
+                       const FileEngineConfig& config)
+    : config_(config) {
+  CAMAL_CHECK(num_shards >= 1);
+  CAMAL_CHECK(config_.block_bytes >= 512 &&
+              (config_.block_bytes & (config_.block_bytes - 1)) == 0);
+
+  workdir_ = config_.workdir;
+  if (workdir_.empty()) {
+    workdir_ = (fs::temp_directory_path() /
+                ("camal_file_engine_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(NextUniqueId())))
+                   .string();
+  }
+  std::error_code ec;
+  created_workdir_ = fs::create_directories(workdir_, ec);
+  SysCheck(!ec, "create_directories", workdir_);
+
+  // Probe the working directory's filesystem for O_DIRECT support once:
+  // filesystems without it (tmpfs, some network/overlay mounts) refuse at
+  // open(2) time, and the engine falls back to buffered I/O.
+  if (config_.try_direct_io) {
+    const std::string probe = workdir_ + "/.direct_probe";
+    const int fd = ::open(probe.c_str(), O_WRONLY | O_CREAT | O_DIRECT, 0644);
+    if (fd >= 0) {
+      direct_io_ = true;
+      ::close(fd);
+    }
+    ::unlink(probe.c_str());
+  }
+
+  const lsm::Options shard_options =
+      ShardedEngine::ShardOptions(total_options, num_shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->options = shard_options;
+    sh->dir = workdir_ + "/shard_" + std::to_string(s);
+    fs::create_directories(sh->dir, ec);
+    SysCheck(!ec, "create_directories", sh->dir);
+    sh->cache.Resize(shard_options.block_cache_bytes / config_.block_bytes);
+    sh->scratch = AllocAligned(config_.block_bytes, config_.block_bytes);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+FileEngine::~FileEngine() {
+  // Close every run fd before touching the directory tree.
+  for (auto& sh : shards_) {
+    for (auto& level : sh->levels) level.clear();
+  }
+  if (config_.keep_files) return;
+  std::error_code ec;
+  if (created_workdir_) {
+    fs::remove_all(workdir_, ec);
+  } else {
+    // The caller owned the directory before us: remove only our shard
+    // subtrees, never sibling content.
+    for (const auto& sh : shards_) fs::remove_all(sh->dir, ec);
+  }
+}
+
+FileEngine::Shard& FileEngine::shard(size_t s) {
+  CAMAL_CHECK(s < shards_.size());
+  return *shards_[s];
+}
+const FileEngine::Shard& FileEngine::shard(size_t s) const {
+  CAMAL_CHECK(s < shards_.size());
+  return *shards_[s];
+}
+
+size_t FileEngine::NumShards() const { return shards_.size(); }
+
+size_t FileEngine::ShardIndex(uint64_t key) const {
+  if (shards_.size() == 1) return 0;
+  return static_cast<size_t>(util::Mix64(key) % shards_.size());
+}
+
+// ------------------------------------------------------------ public surface
+
+void FileEngine::Put(uint64_t key, uint64_t value) {
+  Shard& sh = shard(ShardIndex(key));
+  const double t0 = NowNs();
+  DoPut(sh, config_, direct_io_, key, value, /*tombstone=*/false);
+  sh.clock.elapsed_ns += NowNs() - t0;
+}
+
+void FileEngine::Delete(uint64_t key) {
+  Shard& sh = shard(ShardIndex(key));
+  const double t0 = NowNs();
+  DoPut(sh, config_, direct_io_, key, 0, /*tombstone=*/true);
+  sh.clock.elapsed_ns += NowNs() - t0;
+}
+
+bool FileEngine::Get(uint64_t key, uint64_t* value) {
+  Shard& sh = shard(ShardIndex(key));
+  const double t0 = NowNs();
+  const bool found = DoGet(sh, config_, key, value);
+  sh.clock.elapsed_ns += NowNs() - t0;
+  return found;
+}
+
+size_t FileEngine::Scan(uint64_t start_key, size_t max_entries,
+                        std::vector<lsm::Entry>* out) {
+  if (shards_.size() == 1) {
+    Shard& sh = *shards_[0];
+    const double t0 = NowNs();
+    const size_t n = DoScanShard(sh, config_, start_key, max_entries, out);
+    sh.clock.elapsed_ns += NowNs() - t0;
+    return n;
+  }
+  if (max_entries == 0) return 0;
+
+  // Scatter: every shard contributes its own sorted slice (key sets are
+  // hash-partitioned and disjoint), each probe timed on its own clock.
+  std::vector<std::vector<lsm::Entry>> slices(shards_.size());
+  util::ParallelFor(pool_, 0, shards_.size(), [&](size_t s) {
+    Shard& sh = *shards_[s];
+    const double t0 = NowNs();
+    DoScanShard(sh, config_, start_key, max_entries, &slices[s]);
+    sh.clock.elapsed_ns += NowNs() - t0;
+  });
+
+  // Gather: linear min-scan merge of the disjoint sorted slices.
+  std::vector<size_t> idx(shards_.size(), 0);
+  size_t added = 0;
+  while (added < max_entries) {
+    size_t best = shards_.size();
+    uint64_t best_key = std::numeric_limits<uint64_t>::max();
+    for (size_t s = 0; s < slices.size(); ++s) {
+      if (idx[s] >= slices[s].size()) continue;
+      const uint64_t k = slices[s][idx[s]].key;
+      if (best == shards_.size() || k < best_key) {
+        best = s;
+        best_key = k;
+      }
+    }
+    if (best == shards_.size()) break;
+    out->push_back(slices[best][idx[best]++]);
+    ++added;
+  }
+  return added;
+}
+
+void FileEngine::ExecuteOps(const Op* ops, size_t count, OpResult* results) {
+  if (count == 0) return;
+  const size_t num_shards = shards_.size();
+
+  // One submission list per shard/file-set, in submission order; a scan
+  // probe appears in every shard's list (same decomposition as
+  // ShardedEngine::ExecuteOps — the shape a real submission ring wants).
+  std::vector<std::vector<size_t>> lists(num_shards);
+  std::vector<size_t> scan_slot(count, 0);
+  std::vector<size_t> scan_op;
+  for (size_t i = 0; i < count; ++i) {
+    if (ops[i].kind == OpKind::kScan) {
+      scan_slot[i] = scan_op.size();
+      scan_op.push_back(i);
+      for (size_t s = 0; s < num_shards; ++s) lists[s].push_back(i);
+    } else {
+      lists[ShardIndex(ops[i].key)].push_back(i);
+    }
+  }
+
+  // Per-(scan, shard) probe bookkeeping: real duration, real I/O count,
+  // and live hits, indexed slot * num_shards + s so concurrent writers
+  // touch disjoint elements.
+  const size_t num_scans = scan_op.size();
+  std::vector<double> scan_ns(num_scans * num_shards, 0.0);
+  std::vector<uint64_t> scan_ios(num_scans * num_shards, 0);
+  std::vector<size_t> scan_hits(num_scans * num_shards, 0);
+
+  std::vector<size_t> active;
+  active.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!lists[s].empty()) active.push_back(s);
+  }
+
+  util::ParallelFor(pool_, 0, active.size(), [&](size_t a) {
+    const size_t s = active[a];
+    Shard& sh = *shards_[s];
+    std::vector<lsm::Entry> scratch;
+    for (size_t i : lists[s]) {
+      const Op& op = ops[i];
+      const uint64_t ios_before = sh.clock.block_reads + sh.clock.block_writes;
+      const double t0 = NowNs();
+      if (op.kind == OpKind::kScan) {
+        const size_t slot = scan_slot[i] * num_shards + s;
+        scratch.clear();
+        scan_hits[slot] =
+            DoScanShard(sh, config_, op.key, op.scan_len, &scratch);
+        const double dt = NowNs() - t0;
+        scan_ns[slot] = dt;
+        scan_ios[slot] =
+            sh.clock.block_reads + sh.clock.block_writes - ios_before;
+        sh.clock.elapsed_ns += dt;
+        continue;
+      }
+      OpResult r;
+      switch (op.kind) {
+        case OpKind::kGet:
+          r.found = DoGet(sh, config_, op.key, nullptr);
+          break;
+        case OpKind::kPut:
+          DoPut(sh, config_, direct_io_, op.key, op.value, false);
+          break;
+        case OpKind::kDelete:
+          DoPut(sh, config_, direct_io_, op.key, 0, true);
+          break;
+        case OpKind::kScan:
+          break;  // handled above
+      }
+      const double dt = NowNs() - t0;
+      r.latency_ns = dt;
+      r.ios = sh.clock.block_reads + sh.clock.block_writes - ios_before;
+      sh.clock.elapsed_ns += dt;
+      results[i] = r;
+    }
+  });
+
+  // Gather the scans: a probe ran on every shard; the op's latency is the
+  // sum of its per-shard probe times (serial-equivalent, the simulated
+  // engine's convention), its I/O the sum of real reads.
+  for (size_t slot = 0; slot < num_scans; ++slot) {
+    OpResult r;
+    size_t hits = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      r.latency_ns += scan_ns[slot * num_shards + s];
+      r.ios += scan_ios[slot * num_shards + s];
+      hits += scan_hits[slot * num_shards + s];
+    }
+    const size_t i = scan_op[slot];
+    r.scan_hits = std::min(ops[i].scan_len, hits);
+    results[i] = r;
+  }
+}
+
+void FileEngine::FlushMemtable() {
+  for (auto& sh : shards_) {
+    const double t0 = NowNs();
+    FlushShard(*sh, config_, direct_io_);
+    sh->clock.elapsed_ns += NowNs() - t0;
+  }
+}
+
+void FileEngine::Reconfigure(const lsm::Options& new_total_options) {
+  const lsm::Options per_shard =
+      ShardedEngine::ShardOptions(new_total_options, shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) ReconfigureShard(s, per_shard);
+}
+
+void FileEngine::ReconfigureShard(size_t s, const lsm::Options& options) {
+  Shard& sh = shard(s);
+  CAMAL_CHECK(options.entry_bytes == sh.options.entry_bytes);
+  const double t0 = NowNs();
+  sh.options = options;
+  // The cache resizes immediately; a memtable over the new buffer
+  // capacity flushes now; run files converge lazily through subsequent
+  // flush/compaction cascades (InTransition reports the interim).
+  sh.cache.Resize(options.block_cache_bytes / config_.block_bytes);
+  if (sh.memtable.size() >= sh.options.BufferEntries()) {
+    FlushShard(sh, config_, direct_io_);
+  }
+  sh.clock.elapsed_ns += NowNs() - t0;
+}
+
+lsm::Options FileEngine::ShardOptionsSnapshot(size_t s) const {
+  return shard(s).options;
+}
+
+sim::DeviceSnapshot FileEngine::CostSnapshot() const {
+  sim::DeviceSnapshot total;
+  for (const auto& sh : shards_) total += sh->clock.Snapshot();
+  return total;
+}
+
+sim::DeviceSnapshot FileEngine::ShardCostSnapshot(size_t s) const {
+  return shard(s).clock.Snapshot();
+}
+
+EngineCounters FileEngine::AggregateCounters() const {
+  EngineCounters total;
+  for (const auto& sh : shards_) total += sh->counters;
+  return total;
+}
+
+EngineCounters FileEngine::ShardCounters(size_t s) const {
+  return shard(s).counters;
+}
+
+uint64_t FileEngine::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->disk_entries + sh->memtable.size();
+  }
+  return total;
+}
+
+uint64_t FileEngine::DiskEntries() const {
+  uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->disk_entries;
+  return total;
+}
+
+uint64_t FileEngine::ShardEntries(size_t s) const {
+  const Shard& sh = shard(s);
+  return sh.disk_entries + sh.memtable.size();
+}
+
+bool FileEngine::InTransition() const {
+  for (const auto& sh : shards_) {
+    for (size_t l = 0; l < sh->levels.size(); ++l) {
+      if (LevelViolates(sh->options, sh->levels[l], l)) return true;
+    }
+  }
+  return false;
+}
+
+size_t FileEngine::ShardRunCount(size_t s) const {
+  const Shard& sh = shard(s);
+  size_t runs = 0;
+  for (const auto& level : sh.levels) runs += level.size();
+  return runs;
+}
+
+}  // namespace camal::engine

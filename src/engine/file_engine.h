@@ -1,0 +1,177 @@
+#ifndef CAMAL_ENGINE_FILE_ENGINE_H_
+#define CAMAL_ENGINE_FILE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/storage_engine.h"
+#include "lsm/options.h"
+
+namespace camal::util {
+class ThreadPool;
+}  // namespace camal::util
+
+namespace camal::engine {
+
+/// Construction-time knobs of the real-IO backend.
+struct FileEngineConfig {
+  /// Working directory the engine persists its run files under. Created
+  /// (recursively) when missing. Empty selects a unique directory under
+  /// the system temp dir. Unless `keep_files` is set, the directory and
+  /// everything in it are removed when the engine is destroyed.
+  std::string workdir;
+  /// Attempt to open run files with O_DIRECT (unbuffered device I/O, the
+  /// paper's testbed configuration). Filesystems that refuse it (tmpfs,
+  /// some overlayfs) silently fall back to buffered I/O; `direct_io()`
+  /// reports what actually stuck.
+  bool try_direct_io = true;
+  /// Leave the working directory (and all run files) behind on
+  /// destruction — for post-mortem inspection.
+  bool keep_files = false;
+  /// fsync run files after writing them. Off by default: the engine is a
+  /// measurement backend, not a durability story, and fsync latency on CI
+  /// machines drowns the signal under test.
+  bool sync_files = false;
+  /// Size of one on-disk block: the read unit, the fence-pointer
+  /// granularity, and the O_DIRECT alignment. Must be a power of two and
+  /// a multiple of 512.
+  uint64_t block_bytes = 4096;
+};
+
+/// \brief Real-IO storage backend: an LSM engine whose sorted runs are
+/// append-only files on a real filesystem, with costs measured by
+/// monotonic clocks instead of the simulated device.
+///
+/// `FileEngine` is the second `StorageEngine` implementation (next to the
+/// `sim::Device`-priced `lsm::LsmTree`/`ShardedEngine` stack) and exists
+/// to validate that model-driven tunings transfer from the simulator to
+/// an actual device. It keeps the same externally visible structure as
+/// the simulated engine — N hash-partitioned shards (`Mix64(key) % N`),
+/// per-shard memtable / Bloom filters / block cache, a leveled run
+/// hierarchy shaped by `lsm::Options` (buffer size, size ratio T, policy,
+/// runs-per-level K), scatter-gather `Scan` — but every run is a real
+/// file and every read path block access is a real `pread`.
+///
+/// Cost accounting is truthful, not simulated: per-shard clocks accumulate
+/// wall time measured around each operation plus real block read/write
+/// counts, and `ShardCostSnapshot(shard)` reports them in the same
+/// `sim::DeviceSnapshot` currency the rest of the stack consumes. The
+/// tuning layers (`tune::MemoryArbiter`, `tune::DynamicTuner`) therefore
+/// run against this backend unchanged, observing real costs.
+///
+/// File layout: `workdir/shard_<s>/run_<id>.cam`, each an immutable
+/// append-only file of fixed-size blocks written once at flush/compaction
+/// time. Fence pointers (first key per block) and Bloom filters live in
+/// memory; reads fetch single blocks through a content-carrying LRU block
+/// cache sized by `Options::block_cache_bytes`.
+///
+/// Determinism: given the same operation sequence, file structure, flush
+/// points, Bloom decisions, cache behavior, and therefore **all I/O
+/// counters and logical results** (found flags, scan hits) are
+/// deterministic. Only the clock-measured latencies vary run to run —
+/// they are real.
+///
+/// Thread-safety: externally synchronized, like every `StorageEngine`.
+/// Shard state is fully shard-local, so `ExecuteOps` may fan per-shard
+/// submission lists across an attached pool (see `set_pool`).
+class FileEngine : public StorageEngine {
+ public:
+  /// Creates `num_shards` file-set shards under `config.workdir`.
+  /// `total_options` is the system-wide configuration; each shard receives
+  /// the same even slice `ShardedEngine::ShardOptions` hands a simulated
+  /// shard, so budget arithmetic (and the arbiter's conserved total) is
+  /// identical across backends.
+  FileEngine(size_t num_shards, const lsm::Options& total_options,
+             const FileEngineConfig& config);
+  ~FileEngine() override;
+
+  FileEngine(const FileEngine&) = delete;
+  FileEngine& operator=(const FileEngine&) = delete;
+
+  void Put(uint64_t key, uint64_t value) override;
+  void Delete(uint64_t key) override;
+  bool Get(uint64_t key, uint64_t* value) override;
+  size_t Scan(uint64_t start_key, size_t max_entries,
+              std::vector<lsm::Entry>* out) override;
+
+  /// Batched execution: the batch is partitioned into one submission list
+  /// per shard/file-set (a scan probe joins every list), the lists run
+  /// concurrently when a pool is attached, and per-op cost comes from a
+  /// monotonic clock around each operation (a scan's latency is the sum
+  /// of its per-shard probe times — the serial-equivalent convention the
+  /// simulated engine uses). Logical results and I/O counts are
+  /// deterministic at any pool size; measured latencies are real.
+  void ExecuteOps(const Op* ops, size_t count, OpResult* results) override;
+  using StorageEngine::ExecuteOps;
+
+  void FlushMemtable() override;
+
+  /// Divides `new_total_options` across shards (same arithmetic as the
+  /// simulated sharded engine) and reconfigures every shard.
+  void Reconfigure(const lsm::Options& new_total_options) override;
+
+  /// Applies shard-local `options` at runtime: the block cache resizes
+  /// immediately, a memtable over the new buffer capacity flushes, and
+  /// future runs size their Bloom filters from the new budget. Existing
+  /// run files converge through subsequent flushes/compactions (lazy,
+  /// like the simulated tree). Safe between `ExecuteOps` batches — this
+  /// is the surface the memory arbiter and the dynamic tuner drive.
+  void ReconfigureShard(size_t shard, const lsm::Options& options) override;
+
+  size_t NumShards() const override;
+  size_t ShardIndex(uint64_t key) const override;
+
+  lsm::Options ShardOptionsSnapshot(size_t shard) const override;
+
+  /// Real cost clocks: block_reads/block_writes are actual pread/pwrite
+  /// block counts, elapsed_ns is accumulated monotonic wall time.
+  sim::DeviceSnapshot CostSnapshot() const override;
+  sim::DeviceSnapshot ShardCostSnapshot(size_t shard) const override;
+  EngineCounters AggregateCounters() const override;
+  EngineCounters ShardCounters(size_t shard) const override;
+
+  uint64_t TotalEntries() const override;
+  uint64_t DiskEntries() const override;
+  uint64_t ShardEntries(size_t shard) const override;
+  bool InTransition() const override;
+
+  /// Attaches (or detaches, with nullptr) the worker pool `ExecuteOps`
+  /// and `Scan` fan per-shard work across. Not owned; must outlive its
+  /// use. No pool runs inline.
+  void set_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* pool() const { return pool_; }
+
+  /// True when run files are actually being read with O_DIRECT (the
+  /// constructor probes the working directory's filesystem once).
+  bool direct_io() const { return direct_io_; }
+
+  /// The resolved working directory (useful when `workdir` was empty).
+  const std::string& workdir() const { return workdir_; }
+
+  /// Number of live run files in one shard (observability/tests).
+  size_t ShardRunCount(size_t shard) const;
+
+  /// Process-unique suffix source for callers that create many engines
+  /// under one base directory (the Evaluator's file-backend measurements).
+  static uint64_t NextUniqueId();
+
+  /// Opaque per-shard state (defined in file_engine.cc).
+  struct Shard;
+
+ private:
+  Shard& shard(size_t s);
+  const Shard& shard(size_t s) const;
+
+  FileEngineConfig config_;
+  std::string workdir_;
+  bool created_workdir_ = false;
+  bool direct_io_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  util::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace camal::engine
+
+#endif  // CAMAL_ENGINE_FILE_ENGINE_H_

@@ -92,29 +92,43 @@ struct OpResult {
   size_t scan_hits = 0;
 };
 
-/// Abstract key-value serving engine — the boundary between the execution
-/// stack (workload::Execute, tune::Evaluator, tune::DynamicTuner) and a
-/// concrete storage backend. `lsm::LsmTree` implements it directly (one
-/// tree, one device); `ShardedEngine` composes N trees behind a hash
-/// partitioner. Later backends (a real-device engine) slot in behind the
-/// same surface.
+/// \brief Abstract key-value serving engine — the boundary between the
+/// execution stack (workload::Execute, tune::Evaluator, tune::DynamicTuner)
+/// and a concrete storage backend.
 ///
-/// The serving hot path is `ExecuteOps`: the caller submits a batch and
-/// receives one `OpResult` per op, in submission order, with per-op
-/// simulated cost attributed by the engine. The base implementation runs
-/// the batch serially and prices each op by diffing `CostSnapshot()`
-/// (exactly what callers historically did); `ShardedEngine` overrides it
-/// to execute shard-local sub-batches concurrently while producing
-/// bit-identical results. `CostSnapshot()` remains for whole-window
+/// Implementations: `lsm::LsmTree` (one simulated tree, one device),
+/// `ShardedEngine` (N trees behind a hash partitioner, simulated), and
+/// `FileEngine` (real files + real clocks). The tuning layers talk only
+/// to this surface, so any backend slots in unchanged.
+///
+/// **Contract.** The serving hot path is `ExecuteOps`: the caller submits
+/// a batch and receives one `OpResult` per op, in submission order, with
+/// per-op cost attributed by the engine. The base implementation runs the
+/// batch serially and prices each op by diffing `CostSnapshot()` (exactly
+/// what callers historically did); `ShardedEngine` overrides it to execute
+/// shard-local sub-batches concurrently while producing bit-identical
+/// results. The point-op virtuals (`Put`/`Get`/`Delete`/`Scan`) remain
+/// the compatibility surface and must agree with `ExecuteOps`: executing
+/// a stream through either path must produce the same logical outcomes
+/// and the same I/O accounting. `CostSnapshot()` remains for whole-window
 /// accounting (e.g. pricing an ingest phase). Multi-device engines report
-/// the *sum* over their devices, i.e. the serial-equivalent simulated
-/// time.
+/// the *sum* over their devices, i.e. the serial-equivalent time.
 ///
-/// Engines are externally synchronized: callers must not invoke two
-/// methods concurrently on the same engine. Any parallelism (shard
-/// fan-out) happens *inside* `ExecuteOps`.
+/// **Thread-safety.** Engines are externally synchronized: callers must
+/// not invoke two methods concurrently on the same engine. Any
+/// parallelism (shard fan-out) happens *inside* `ExecuteOps` (and
+/// scatter-gather `Scan`), over state that is fully shard-local.
+///
+/// **Determinism.** Given the same operation sequence, logical results
+/// and I/O *counts* are deterministic for every implementation, at any
+/// internal thread count. Simulated backends additionally make the cost
+/// clocks (`latency_ns`, `CostSnapshot().elapsed_ns`) bit-reproducible;
+/// the real-IO backend measures them with monotonic clocks, so only its
+/// timings vary between runs.
 class StorageEngine {
  public:
+  /// Engines own their storage (trees/devices/file sets); destruction
+  /// releases it. Virtual: engines are deleted through this interface.
   virtual ~StorageEngine() = default;
 
   /// Inserts or updates a key. May trigger flushes and compactions.
@@ -210,7 +224,9 @@ class StorageEngine {
 
   // --- Scale views ------------------------------------------------------
 
+  /// Live entries across the whole engine (memtables + disk structures).
   virtual uint64_t TotalEntries() const = 0;
+  /// Entries persisted in on-disk structures (excludes write buffers).
   virtual uint64_t DiskEntries() const = 0;
 
   /// Live entries held by one shard (memtable + disk).

@@ -10,6 +10,7 @@ namespace camal::ml {
 /// neural network.
 class Regressor {
  public:
+  /// Models are owned polymorphically (see tune::MakeModel).
   virtual ~Regressor() = default;
 
   /// Fits on rows `x` (all the same length) with targets `y`.

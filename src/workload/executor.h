@@ -22,6 +22,8 @@ namespace camal::workload {
 /// the engine but must not execute operations on it.
 class BatchHook {
  public:
+  /// Hooks are borrowed (never owned) by the executor; destruction is
+  /// the attaching caller's business.
   virtual ~BatchHook() = default;
 
   /// Called after each batch has executed, before the next is generated.
