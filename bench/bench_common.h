@@ -162,6 +162,10 @@ inline tune::SystemSetup BenchSetup() {
   tune::SystemSetup setup;
   setup.num_shards = Shards();
   setup.engine_threads = EngineThreads();
+  // Abort on inconsistent knob combinations before any engine is built
+  // (benches that tweak the returned setup re-validate through the
+  // Evaluator, which runs the same check).
+  tune::ValidateOrDie(setup);
   return setup;
 }
 

@@ -40,6 +40,10 @@ std::vector<PhaseRow> RunStatic(const tune::SystemSetup& setup,
     exec.num_ops = ops_per_phase;
     exec.generator.scan_len = setup.scan_len;
     exec.generator.insert_new_keys = true;  // the data grows, as in 5d
+    // Tenant-skewed phases, matching the dynamic driver (bit-identical
+    // stream at skew 0).
+    exec.generator.shard_skew = setup.shard_skew;
+    exec.generator.num_shards = Shards();
     exec.seed = i + 1;
     auto result = workload::Execute(&eng, phases[i], exec, &keys);
     rows.push_back(PhaseRow{result.MeanLatencyNs() / 1e3, result.IosPerOp()});
@@ -76,8 +80,12 @@ std::vector<PhaseRow> RunDynamic(const tune::SystemSetup& setup,
   return rows;
 }
 
-void Run() {
+void Run(double skew) {
   tune::SystemSetup setup = BenchSetup();
+  // Hot/cold tenant traffic across the engine's shards (inert at 0, and
+  // meaningless with 1 shard — Validate rejects that combination).
+  setup.shard_skew = skew;
+  tune::ValidateOrDie(setup);
   const size_t ops_per_phase = 6000;
   const auto train = workload::TrainingWorkloads();
 
@@ -142,6 +150,22 @@ void Run() {
 
 int main(int argc, char** argv) {
   camal::bench::InitBenchThreads(&argc, argv);
-  camal::bench::Run();
+  double skew = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--skew=", 7) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      skew = std::strtod(argv[i] + 7, &end);
+      if (end == argv[i] + 7 || *end != '\0' || skew < 0.0 ||
+          errno == ERANGE) {
+        std::fprintf(stderr, "invalid --skew value '%s'\n", argv[i] + 7);
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  camal::bench::Run(skew);
   return 0;
 }

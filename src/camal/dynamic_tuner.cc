@@ -66,6 +66,10 @@ workload::ExecutionResult DynamicTuner::RunPhase(
   workload::GeneratorConfig gen_cfg;
   gen_cfg.scan_len = base_setup_.scan_len;
   gen_cfg.insert_new_keys = true;  // data grows across phases
+  // Tenant-skewed phases (inert at shard_skew == 0: the generator then
+  // draws exactly the historical stream).
+  gen_cfg.shard_skew = base_setup_.shard_skew;
+  gen_cfg.num_shards = engine->NumShards();
   workload::OperationGenerator gen(spec, keys, gen_cfg, seed);
 
   // The stream executes through the engine's batched pipeline. Detector
@@ -85,6 +89,7 @@ workload::ExecutionResult DynamicTuner::RunPhase(
   std::vector<size_t> fired;
 
   size_t done = 0;
+  size_t batch_index = 0;
   while (done < num_ops) {
     pending.clear();
     fired.clear();
@@ -119,8 +124,17 @@ workload::ExecutionResult DynamicTuner::RunPhase(
     // observed over whole windows move between shards between batches,
     // never inside one.
     if (arbiter_ != nullptr) {
-      arbiter_->OnBatch(engine, pending.data(), pending.size());
+      workload::BatchEvent event;
+      event.batch_index = batch_index;
+      event.count = pending.size();
+      event.ops = pending.data();
+      event.engine_ops = ops.data();
+      event.results = op_results.data();
+      workload::CountBatchKinds(&event);
+      // `ops` is set, so this is exactly the historical OnBatch path.
+      arbiter_->OnBatchEvent(engine, event);
     }
+    ++batch_index;
   }
   result.num_ops = num_ops;
   return result;

@@ -1,11 +1,13 @@
 #include "camal/evaluator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "camal/memory_arbiter.h"
 #include "engine/file_engine.h"
 #include "engine/sharded_engine.h"
+#include "serve/gateway.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "workload/executor.h"
@@ -16,6 +18,7 @@ namespace camal::tune {
 using util::HashCombine;
 
 Evaluator::Evaluator(const SystemSetup& setup) : setup_(setup) {
+  ValidateOrDie(setup_);
   // A pool only pays off when there are shards to fan across: with one
   // shard every ExecuteOps batch is a single sub-list and runs inline.
   if (setup_.engine_threads != 1 && setup_.num_shards > 1) {
@@ -88,17 +91,62 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
         setup_, config.ToOptions(setup_), eng.NumShards(), arb_opts);
     exec.hook = arbiter.get();
   }
-  workload::ExecutionResult result =
-      workload::Execute(&eng, workload, exec, &keys);
 
   Measurement m;
-  m.mean_latency_ns = result.MeanLatencyNs();
-  m.p90_latency_ns = result.latency_ns.Quantile(0.9);
-  m.p99_latency_ns = result.latency_ns.Quantile(0.99);
-  m.ios_per_op = result.IosPerOp();
   m.build_ns = build_ns;
-  m.run_ns = result.total_ns;
-  m.total_cost_ns = build_ns + result.total_ns;
+  if (setup_.serve_mode == ServeMode::kGateway) {
+    // Open-loop serving: the same generated stream, but requests arrive on
+    // Poisson timestamps and pass through the gateway's per-tenant
+    // admission before reaching the engine. Latency then includes queueing
+    // delay, and overload shows up as a shed rate instead of as a slower
+    // closed loop.
+    serve::GatewayConfig gcfg;
+    gcfg.num_tenants = eng.NumShards();
+    gcfg.max_queue_depth = setup_.gateway_queue_depth;
+    gcfg.admission_control = setup_.gateway_admission;
+    gcfg.rate_limit_ops_per_sec = setup_.gateway_rate_limit_ops_per_sec;
+    gcfg.rate_limit_burst = setup_.gateway_rate_burst;
+    serve::Gateway gateway(&eng, gcfg);
+    // The arbiter rides gateway batch boundaries instead of executor ones.
+    if (arbiter != nullptr) gateway.set_observer(arbiter.get());
+
+    workload::OperationGenerator gen(workload, &keys, exec.generator,
+                                     exec.seed);
+    util::Random arrivals(HashCombine(setup_.seed * 131, salt + 9));
+    double clock_ns = 0.0;
+    for (size_t i = 0; i < num_ops; ++i) {
+      const workload::Operation op = gen.Next();
+      clock_ns -= setup_.gateway_interarrival_ns *
+                  std::log(1.0 - arrivals.NextDouble());
+      const engine::Op engine_op = workload::ToEngineOp(op);
+      gateway.Submit(static_cast<uint32_t>(eng.ShardIndex(engine_op.key)),
+                     engine_op, static_cast<uint64_t>(clock_ns));
+    }
+    gateway.Flush();
+
+    const serve::GatewayStats stats = gateway.StatsSnapshot();
+    m.mean_latency_ns = stats.total_latency_ns.Mean();
+    m.p90_latency_ns = stats.total_latency_ns.Quantile(0.9);
+    m.p99_latency_ns = stats.total_latency_ns.Quantile(0.99);
+    m.ios_per_op = stats.completed == 0
+                       ? 0.0
+                       : static_cast<double>(stats.total_ios) /
+                             static_cast<double>(stats.completed);
+    m.shed_rate = stats.ShedFraction();
+    m.queue_p99_ns = stats.queue_latency_ns.Quantile(0.99);
+    // The run "takes" until the engine finishes its last batch — arrivals
+    // plus queueing, the open-loop makespan.
+    m.run_ns = gateway.engine_free_ns();
+  } else {
+    workload::ExecutionResult result =
+        workload::Execute(&eng, workload, exec, &keys);
+    m.mean_latency_ns = result.MeanLatencyNs();
+    m.p90_latency_ns = result.latency_ns.Quantile(0.9);
+    m.p99_latency_ns = result.latency_ns.Quantile(0.99);
+    m.ios_per_op = result.IosPerOp();
+    m.run_ns = result.total_ns;
+  }
+  m.total_cost_ns = build_ns + m.run_ns;
   return m;
 }
 

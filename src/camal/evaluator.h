@@ -14,7 +14,10 @@ class ThreadPool;
 
 namespace camal::tune {
 
-/// What one measurement run produced.
+/// What one measurement run produced. In closed-loop mode the latency
+/// metrics are pure engine service times; in gateway mode
+/// (`SystemSetup::serve_mode`) they are end-to-end (queueing + service)
+/// and the two gateway-only fields become meaningful.
 struct Measurement {
   double mean_latency_ns = 0.0;
   double p90_latency_ns = 0.0;
@@ -26,6 +29,11 @@ struct Measurement {
   double run_ns = 0.0;
   /// build_ns + run_ns — the cost of obtaining this measurement.
   double total_cost_ns = 0.0;
+  /// Fraction of submitted requests shed by admission control or rate
+  /// limits (gateway mode; 0 in closed loop, where nothing is shed).
+  double shed_rate = 0.0;
+  /// p99 of queueing delay alone (gateway mode; 0 in closed loop).
+  double queue_p99_ns = 0.0;
 };
 
 /// One (workload, config, salt) measurement request for batched

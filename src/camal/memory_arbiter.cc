@@ -88,6 +88,47 @@ void MemoryArbiter::OnBatch(engine::StorageEngine* engine,
   if (RoundDue()) Rebalance(engine);
 }
 
+void MemoryArbiter::OnBatchEvent(engine::StorageEngine* engine,
+                                 const workload::BatchEvent& event) {
+  if (event.ops != nullptr) {
+    // Executor-driven: the generator's typed operations are available, so
+    // take the historical path (bit-identical accounting).
+    OnBatch(engine, event.ops, event.count);
+    return;
+  }
+  // Gateway-driven: only engine ops exist. Lookups are classified by
+  // their outcome — a found key is the model's non-zero-result lookup, a
+  // miss its zero-result one — which is exactly what the generator's
+  // labels encode on a steady-state key space.
+  CAMAL_CHECK(event.engine_ops != nullptr && event.results != nullptr);
+  const size_t num_shards = counts_.size();
+  for (size_t i = 0; i < event.count; ++i) {
+    const engine::Op& op = event.engine_ops[i];
+    switch (op.kind) {
+      case engine::OpKind::kGet:
+        Record(engine->ShardIndex(op.key),
+               event.results[i].found
+                   ? workload::OpType::kNonZeroResultLookup
+                   : workload::OpType::kZeroResultLookup);
+        break;
+      case engine::OpKind::kScan:
+        // A scatter-gather scan probes every shard; each pays for it.
+        for (size_t s = 0; s < num_shards; ++s) {
+          Record(s, workload::OpType::kRangeLookup);
+        }
+        break;
+      case engine::OpKind::kPut:
+        Record(engine->ShardIndex(op.key), workload::OpType::kWrite);
+        break;
+      case engine::OpKind::kDelete:
+        Record(engine->ShardIndex(op.key), workload::OpType::kDelete);
+        break;
+    }
+  }
+  window_ops_ += event.count;
+  if (RoundDue()) Rebalance(engine);
+}
+
 model::SystemParams MemoryArbiter::ShardParams(
     const engine::StorageEngine& engine, size_t s) const {
   model::SystemParams p = setup_.ToModelParams();

@@ -90,6 +90,15 @@ class MemoryArbiter : public workload::BatchHook {
   void OnBatch(engine::StorageEngine* engine, const workload::Operation* ops,
                size_t count) override;
 
+  /// BatchObserver: executor-driven events (`event.ops` set) take the
+  /// `OnBatch` path unchanged; gateway-driven events (`event.ops` null —
+  /// there is no generator behind gateway traffic) classify the engine
+  /// ops instead, reading lookup zero-/non-zero-result from
+  /// `OpResult::found`. Either way the arbiter rides batch boundaries of
+  /// whatever pipeline drives the engine.
+  void OnBatchEvent(engine::StorageEngine* engine,
+                    const workload::BatchEvent& event) override;
+
   /// Current arbitrated budget of one shard, in bits.
   uint64_t BudgetBits(size_t shard) const {
     CAMAL_CHECK(shard < budgets_.size());

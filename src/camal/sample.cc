@@ -56,6 +56,81 @@ sim::DeviceConfig SystemSetup::MakeDeviceConfig(uint64_t salt) const {
   return cfg;
 }
 
+util::Status SystemSetup::Validate() const {
+  using util::Status;
+  if (num_entries == 0) {
+    return Status::InvalidArgument("num_entries must be > 0");
+  }
+  if (entry_bytes == 0) {
+    return Status::InvalidArgument("entry_bytes must be > 0");
+  }
+  if (total_memory_bits == 0) {
+    return Status::InvalidArgument("total_memory_bits must be > 0");
+  }
+  if (train_ops == 0 || eval_ops == 0) {
+    return Status::InvalidArgument("train_ops and eval_ops must be > 0");
+  }
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (engine_threads < 0) {
+    return Status::InvalidArgument(
+        "engine_threads must be >= 0 (0 = hardware concurrency)");
+  }
+  if (arbitration == ArbitrationMode::kPeriodic && num_shards < 2) {
+    return Status::InvalidArgument(
+        "arbitration = kPeriodic needs num_shards >= 2: there is no "
+        "second tenant to move memory between");
+  }
+  if (arbitration == ArbitrationMode::kPeriodic && arbiter_period_ops == 0) {
+    return Status::InvalidArgument(
+        "arbiter_period_ops must be > 0 with periodic arbitration");
+  }
+  if (shard_skew < 0.0) {
+    return Status::InvalidArgument("shard_skew must be >= 0");
+  }
+  if (shard_skew > 0.0 && num_shards < 2) {
+    return Status::InvalidArgument(
+        "shard_skew > 0 needs num_shards >= 2: a single shard has no "
+        "hot/cold tenants to bias traffic between");
+  }
+  if (backend == EngineBackend::kSim && !file_workdir.empty()) {
+    return Status::InvalidArgument(
+        "file_workdir is set but backend is kSim: the simulated backend "
+        "never touches files (did you mean backend = kFile?)");
+  }
+  if (serve_mode == ServeMode::kGateway && gateway_interarrival_ns <= 0.0) {
+    return Status::InvalidArgument(
+        "serve_mode = kGateway needs gateway_interarrival_ns > 0: "
+        "open-loop serving is defined by its arrival rate");
+  }
+  if (serve_mode == ServeMode::kGateway && gateway_admission &&
+      gateway_queue_depth == 0) {
+    return Status::InvalidArgument(
+        "gateway_queue_depth must be >= 1 when admission control is on");
+  }
+  if (gateway_rate_limit_ops_per_sec < 0.0) {
+    return Status::InvalidArgument(
+        "gateway_rate_limit_ops_per_sec must be >= 0");
+  }
+  if (serve_mode == ServeMode::kClosedLoop &&
+      gateway_rate_limit_ops_per_sec > 0.0) {
+    return Status::InvalidArgument(
+        "gateway_rate_limit_ops_per_sec is set but serve_mode is "
+        "kClosedLoop: rate limits only apply to gateway serving");
+  }
+  return Status::Ok();
+}
+
+void ValidateOrDie(const SystemSetup& setup) {
+  const util::Status status = setup.Validate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "[camal] invalid SystemSetup: %s\n",
+                 status.message().c_str());
+    std::abort();
+  }
+}
+
 SystemSetup ScaledDown(const SystemSetup& setup, double k) {
   CAMAL_CHECK(k > 0.0);
   SystemSetup out = setup;

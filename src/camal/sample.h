@@ -11,6 +11,7 @@
 #include "model/cost_model.h"
 #include "model/workload_spec.h"
 #include "sim/device.h"
+#include "util/status.h"
 
 namespace camal::tune {
 
@@ -27,6 +28,14 @@ enum class ArbitrationMode { kOff, kPeriodic };
 /// actual file reads/writes (used to validate that model-driven tunings
 /// transfer to a real device).
 enum class EngineBackend { kSim, kFile };
+
+/// How measurement runs drive the engine: `kClosedLoop` — the generator
+/// submits the next operation as soon as the previous one finishes
+/// (every figure's historical mode) — or `kGateway` — operations arrive
+/// open-loop on Poisson timestamps and are served through
+/// `serve::Gateway` (per-tenant queues, admission control), so the
+/// measurement includes queueing delay and a shed rate.
+enum class ServeMode { kClosedLoop, kGateway };
 
 /// The experimental scale: data size, memory budget, device, and query
 /// volumes. One SystemSetup corresponds to one "database server" in the
@@ -86,6 +95,31 @@ struct SystemSetup {
   /// creates (and removes) a unique subdirectory. Empty = the system
   /// temp dir.
   std::string file_workdir;
+  /// Serving mode of measurement runs. `kClosedLoop` (the default) is
+  /// bit-identical to the pre-gateway evaluator; `kGateway` serves the
+  /// query phase through `serve::Gateway` with open-loop Poisson
+  /// arrivals (see the gateway_* knobs below, all inert in closed loop).
+  ServeMode serve_mode = ServeMode::kClosedLoop;
+  /// Mean inter-arrival gap between requests (whole system) in
+  /// simulated ns; required > 0 in `kGateway` mode.
+  double gateway_interarrival_ns = 0.0;
+  /// Per-tenant queue depth bound (tenants map to engine shards).
+  size_t gateway_queue_depth = 256;
+  /// When false, gateway queues are unbounded (no depth shedding).
+  bool gateway_admission = true;
+  /// Per-tenant token-bucket rate limit in ops per simulated second;
+  /// 0 disables rate limiting.
+  double gateway_rate_limit_ops_per_sec = 0.0;
+  /// Token-bucket burst capacity in ops.
+  size_t gateway_rate_burst = 32;
+
+  /// Checks the knob combination for consistency: arbitration or tenant
+  /// skew without shards to arbitrate/skew across, file-backend knobs on
+  /// the simulated backend, gateway mode without an arrival rate, and
+  /// degenerate scales are all rejected with an explanatory message.
+  /// `Evaluator` and the benches call this instead of silently serving a
+  /// setup that cannot mean what the caller intended.
+  util::Status Validate() const;
 
   /// The closed-form model's view of this setup.
   model::SystemParams ToModelParams() const;
@@ -100,6 +134,10 @@ struct SystemSetup {
 /// Returns a copy of `setup` scaled down by factor `k` (N/k entries, M/k
 /// memory) — the training-side counterpart of the extrapolation strategy.
 SystemSetup ScaledDown(const SystemSetup& setup, double k);
+
+/// `Validate()` or abort with the message — the entry-point guard the
+/// Evaluator and every bench run before building engines.
+void ValidateOrDie(const SystemSetup& setup);
 
 /// One point X in the tuning space. All memory fields are absolute bits for
 /// a specific system scale; `ExtrapolateConfig` rescales them.

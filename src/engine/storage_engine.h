@@ -107,10 +107,14 @@ struct OpResult {
 /// batch serially and prices each op by diffing `CostSnapshot()` (exactly
 /// what callers historically did); `ShardedEngine` overrides it to execute
 /// shard-local sub-batches concurrently while producing bit-identical
-/// results. The point-op virtuals (`Put`/`Get`/`Delete`/`Scan`) remain
-/// the compatibility surface and must agree with `ExecuteOps`: executing
-/// a stream through either path must produce the same logical outcomes
-/// and the same I/O accounting. `CostSnapshot()` remains for whole-window
+/// results. Every serving path — closed-loop (`workload::Execute`,
+/// `tune::DynamicTuner`) and open-loop (`serve::Gateway`) — submits
+/// through `ExecuteOps`. The point-op virtuals (`Put`/`Get`/`Delete`/
+/// `Scan`) are a compatibility and testing surface, not a serving
+/// entrypoint: use them for bulk loads, assertions, and probing entries,
+/// and expect them to agree with `ExecuteOps` — executing a stream
+/// through either path must produce the same logical outcomes and the
+/// same I/O accounting. `CostSnapshot()` remains for whole-window
 /// accounting (e.g. pricing an ingest phase). Multi-device engines report
 /// the *sum* over their devices, i.e. the serial-equivalent time.
 ///

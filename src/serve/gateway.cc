@@ -1,0 +1,286 @@
+#include "serve/gateway.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.h"
+
+namespace camal::serve {
+
+namespace {
+
+/// Lock-free max update (arrivals from concurrent producers).
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t prev = target->load(std::memory_order_relaxed);
+  while (prev < value &&
+         !target->compare_exchange_weak(prev, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool Gateway::TokenBucket::TryTake(uint64_t now_ns) {
+  if (ns_per_token == 0) return true;
+  if (now_ns > last_ns) {
+    const uint64_t delta = now_ns - last_ns;
+    // Saturating refill: credit never exceeds the bucket capacity.
+    credit_ns = delta >= cap_ns - credit_ns ? cap_ns : credit_ns + delta;
+    last_ns = now_ns;
+  }
+  if (credit_ns >= ns_per_token) {
+    credit_ns -= ns_per_token;
+    return true;
+  }
+  return false;
+}
+
+Gateway::Gateway(engine::StorageEngine* engine, const GatewayConfig& config)
+    : engine_(engine), config_(config) {
+  CAMAL_CHECK(engine != nullptr);
+  CAMAL_CHECK(config_.num_tenants >= 1);
+  CAMAL_CHECK(config_.batch_ops >= 1);
+  CAMAL_CHECK(!config_.admission_control || config_.max_queue_depth >= 1);
+  tenants_.reserve(config_.num_tenants);
+  for (size_t t = 0; t < config_.num_tenants; ++t) {
+    auto tenant = std::make_unique<Tenant>();
+    if (config_.rate_limit_ops_per_sec > 0.0) {
+      tenant->bucket.ns_per_token = std::max<uint64_t>(
+          1, static_cast<uint64_t>(1e9 / config_.rate_limit_ops_per_sec + 0.5));
+      tenant->bucket.cap_ns =
+          std::max<uint64_t>(1, config_.rate_limit_burst) *
+          tenant->bucket.ns_per_token;
+      tenant->bucket.credit_ns = tenant->bucket.cap_ns;  // start full
+    }
+    tenants_.push_back(std::move(tenant));
+  }
+  batch_ops_.reserve(config_.batch_ops);
+  batch_meta_.reserve(config_.batch_ops);
+  batch_tenants_.reserve(config_.batch_ops);
+}
+
+SubmitResult Gateway::Submit(uint32_t tenant, const engine::Op& op,
+                             uint64_t arrival_ns) {
+  CAMAL_CHECK(tenant < tenants_.size());
+  AtomicMax(&max_arrival_ns_, arrival_ns);
+  // Drain whatever the engine could have finished by this arrival before
+  // judging queue depth, so admission sees the queue state at time
+  // `arrival_ns`, not at the last dispatch.
+  TryPump();
+
+  Tenant& t = *tenants_[tenant];
+  SubmitResult out;
+  {
+    std::lock_guard<std::mutex> lock(t.mu);
+    ++t.counters.submitted;
+    if (!t.bucket.TryTake(arrival_ns)) {
+      ++t.counters.shed_rate_limited;
+      out.status = AdmitStatus::kRejectedRate;
+    } else if (config_.admission_control &&
+               t.queue.size() >= config_.max_queue_depth) {
+      ++t.counters.shed_queue;
+      out.status = AdmitStatus::kRejectedQueue;
+    } else {
+      out.status = AdmitStatus::kAdmitted;
+      out.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      t.queue.push_back(PendingRequest{op, out.id, arrival_ns});
+      ++t.counters.admitted;
+      total_pending_.fetch_add(1, std::memory_order_relaxed);
+    }
+    out.queue_depth = t.queue.size();
+    t.counters.max_queue_depth =
+        std::max<uint64_t>(t.counters.max_queue_depth, out.queue_depth);
+  }
+  if (config_.admission_control) {
+    out.queue_fill = static_cast<double>(out.queue_depth) /
+                     static_cast<double>(config_.max_queue_depth);
+  }
+  out.backpressure = out.status != AdmitStatus::kAdmitted ||
+                     (config_.admission_control &&
+                      out.queue_fill >= config_.backpressure_threshold);
+  return out;
+}
+
+void Gateway::TryPump() {
+  if (dispatch_mu_.try_lock()) {
+    PumpLocked(
+        static_cast<double>(max_arrival_ns_.load(std::memory_order_relaxed)));
+    dispatch_mu_.unlock();
+  }
+}
+
+void Gateway::Pump(uint64_t now_ns) {
+  AtomicMax(&max_arrival_ns_, now_ns);
+  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  PumpLocked(
+      static_cast<double>(max_arrival_ns_.load(std::memory_order_relaxed)));
+}
+
+void Gateway::Flush() {
+  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  PumpLocked(std::numeric_limits<double>::infinity());
+}
+
+void Gateway::PumpLocked(double now_ns) {
+  while (DispatchOne(now_ns)) {
+  }
+}
+
+bool Gateway::DispatchOne(double now_ns) {
+  if (total_pending_.load(std::memory_order_relaxed) == 0) return false;
+
+  // The next batch starts when the engine is free and its oldest eligible
+  // op has arrived.
+  uint64_t earliest = std::numeric_limits<uint64_t>::max();
+  for (const auto& tenant : tenants_) {
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    if (!tenant->queue.empty()) {
+      earliest = std::min(earliest, tenant->queue.front().arrival_ns);
+    }
+  }
+  if (earliest == std::numeric_limits<uint64_t>::max()) return false;
+  const double start_ns =
+      std::max(engine_free_ns_, static_cast<double>(earliest));
+  if (start_ns > now_ns) return false;  // engine busy beyond `now_ns`
+
+  // Coalesce: round-robin one op per tenant per sweep, taking only ops
+  // that had arrived by the batch's start (causality — an op cannot join
+  // a batch that began before it existed).
+  batch_ops_.clear();
+  batch_meta_.clear();
+  batch_tenants_.clear();
+  const size_t num_tenants = tenants_.size();
+  bool progress = true;
+  while (batch_ops_.size() < config_.batch_ops && progress) {
+    progress = false;
+    for (size_t i = 0;
+         i < num_tenants && batch_ops_.size() < config_.batch_ops; ++i) {
+      const size_t idx = (rr_cursor_ + i) % num_tenants;
+      Tenant& t = *tenants_[idx];
+      std::lock_guard<std::mutex> lock(t.mu);
+      if (!t.queue.empty() &&
+          static_cast<double>(t.queue.front().arrival_ns) <= start_ns) {
+        batch_ops_.push_back(t.queue.front().op);
+        batch_meta_.push_back(t.queue.front());
+        batch_tenants_.push_back(static_cast<uint32_t>(idx));
+        t.queue.pop_front();
+        total_pending_.fetch_sub(1, std::memory_order_relaxed);
+        progress = true;
+      }
+    }
+  }
+  rr_cursor_ = (rr_cursor_ + 1) % num_tenants;
+  if (batch_ops_.empty()) return false;
+
+  // Per-shard cost clocks around the dispatch, for the observer's deltas.
+  const size_t num_shards = engine_->NumShards();
+  if (observer_ != nullptr) {
+    shard_cost_scratch_.assign(num_shards, 0.0);
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_cost_scratch_[s] = -engine_->ShardCostSnapshot(s).elapsed_ns;
+    }
+  }
+
+  batch_results_.resize(batch_ops_.size());
+  engine_->ExecuteOps(batch_ops_.data(), batch_ops_.size(),
+                      batch_results_.data());
+
+  // Serial-equivalent completion: op i finishes at start + the cumulative
+  // service of ops 0..i (matching the engines' serial-equivalent cost
+  // accounting); everything before its own service time is queueing.
+  double cum_ns = 0.0;
+  for (size_t i = 0; i < batch_ops_.size(); ++i) {
+    Completion c;
+    c.id = batch_meta_[i].id;
+    c.tenant = batch_tenants_[i];
+    c.kind = batch_ops_[i].kind;
+    c.result = batch_results_[i];
+    c.arrival_ns = batch_meta_[i].arrival_ns;
+    c.service_ns = batch_results_[i].latency_ns;
+    c.queue_ns =
+        (start_ns - static_cast<double>(c.arrival_ns)) + cum_ns;
+    cum_ns += c.service_ns;
+    stats_.total_latency_ns.Add(c.TotalNs());
+    stats_.queue_latency_ns.Add(c.queue_ns);
+    stats_.service_latency_ns.Add(c.service_ns);
+    stats_.service_ns_total += c.service_ns;
+    stats_.total_ios += c.result.ios;
+    ++stats_.completed;
+    completions_.push_back(c);
+  }
+  engine_free_ns_ = start_ns + cum_ns;
+  ++stats_.batches;
+
+  if (observer_ != nullptr) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_cost_scratch_[s] += engine_->ShardCostSnapshot(s).elapsed_ns;
+    }
+    depths_scratch_.clear();
+    for (const auto& tenant : tenants_) {
+      std::lock_guard<std::mutex> lock(tenant->mu);
+      depths_scratch_.push_back(tenant->queue.size());
+    }
+    workload::BatchEvent event;
+    event.batch_index = batch_index_;
+    event.count = batch_ops_.size();
+    event.engine_ops = batch_ops_.data();
+    event.results = batch_results_.data();
+    workload::CountBatchKinds(&event);
+    event.queue_depths = depths_scratch_.data();
+    event.num_queues = depths_scratch_.size();
+    event.shard_cost_delta_ns = shard_cost_scratch_.data();
+    event.num_shards = num_shards;
+    observer_->OnBatchEvent(engine_, event);
+  }
+  ++batch_index_;
+  return true;
+}
+
+size_t Gateway::PollCompletions(std::vector<Completion>* out) {
+  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  const size_t n = completions_.size();
+  if (out != nullptr) {
+    out->insert(out->end(), completions_.begin(), completions_.end());
+  }
+  completions_.clear();
+  return n;
+}
+
+size_t Gateway::QueueDepth(uint32_t tenant) const {
+  CAMAL_CHECK(tenant < tenants_.size());
+  std::lock_guard<std::mutex> lock(tenants_[tenant]->mu);
+  return tenants_[tenant]->queue.size();
+}
+
+double Gateway::engine_free_ns() const {
+  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  return engine_free_ns_;
+}
+
+GatewayStats Gateway::StatsSnapshot() const {
+  GatewayStats out;
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    out = stats_;
+  }
+  // Admission accounting lives tenant-local (the submit path never takes
+  // the dispatch mutex); aggregate it here.
+  for (const auto& tenant : tenants_) {
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    out.submitted += tenant->counters.submitted;
+    out.admitted += tenant->counters.admitted;
+    out.shed_queue += tenant->counters.shed_queue;
+    out.shed_rate_limited += tenant->counters.shed_rate_limited;
+    out.max_queue_depth =
+        std::max(out.max_queue_depth, tenant->counters.max_queue_depth);
+  }
+  return out;
+}
+
+TenantCounters Gateway::TenantStats(uint32_t tenant) const {
+  CAMAL_CHECK(tenant < tenants_.size());
+  std::lock_guard<std::mutex> lock(tenants_[tenant]->mu);
+  return tenants_[tenant]->counters;
+}
+
+}  // namespace camal::serve

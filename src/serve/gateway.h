@@ -1,0 +1,272 @@
+#ifndef CAMAL_SERVE_GATEWAY_H_
+#define CAMAL_SERVE_GATEWAY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/storage_engine.h"
+#include "util/stats.h"
+#include "workload/request.h"
+
+namespace camal::serve {
+
+/// Why a submitted request was (not) admitted.
+enum class AdmitStatus : uint8_t {
+  kAdmitted,
+  /// Shed by admission control: the tenant's queue was at its depth bound.
+  kRejectedQueue,
+  /// Shed by the tenant's token-bucket rate limit.
+  kRejectedRate,
+};
+
+/// Gateway knobs.
+struct GatewayConfig {
+  /// Independent request streams (per-tenant queues). Benches map tenants
+  /// to engine shards 1:1, but any stable mapping works.
+  size_t num_tenants = 1;
+  /// Maximum ops coalesced into one `ExecuteOps` dispatch.
+  size_t batch_ops = 512;
+  /// Per-tenant queue depth bound enforced by admission control.
+  size_t max_queue_depth = 256;
+  /// When false, queues are unbounded and nothing is shed on depth — the
+  /// "collapse" baseline an overload bench compares against.
+  bool admission_control = true;
+  /// Per-tenant token-bucket rate limit in ops/second; 0 disables it.
+  /// Refill arithmetic is integer-exact (whole nanoseconds of credit), so
+  /// admit counts are an exact function of the arrival timestamps.
+  double rate_limit_ops_per_sec = 0.0;
+  /// Token-bucket capacity in ops (also the initial credit).
+  size_t rate_limit_burst = 32;
+  /// Queue-fill fraction at (or above) which `SubmitResult::backpressure`
+  /// signals open-loop producers to slow down.
+  double backpressure_threshold = 0.75;
+};
+
+/// What `Submit` tells the producer.
+struct SubmitResult {
+  AdmitStatus status = AdmitStatus::kAdmitted;
+  /// Request id (valid only when admitted); completions carry it back.
+  uint64_t id = 0;
+  /// Tenant queue depth right after this submit.
+  size_t queue_depth = 0;
+  /// Depth as a fraction of the admission bound (0 when unbounded).
+  double queue_fill = 0.0;
+  /// Backpressure signal: the tenant's queue is filling (or this request
+  /// was shed) — an open-loop producer should slow down.
+  bool backpressure = false;
+};
+
+/// One served request: the engine-attributed outcome plus the gateway's
+/// latency attribution, queue and service separated.
+struct Completion {
+  uint64_t id = 0;
+  uint32_t tenant = 0;
+  engine::OpKind kind = engine::OpKind::kGet;
+  engine::OpResult result;
+  /// Virtual arrival timestamp the producer submitted with.
+  uint64_t arrival_ns = 0;
+  /// Time spent queued: dispatch start minus arrival, plus the serial
+  /// wait behind earlier ops of the same batch.
+  double queue_ns = 0.0;
+  /// Engine-attributed service time of this op alone.
+  double service_ns = 0.0;
+
+  double TotalNs() const { return queue_ns + service_ns; }
+};
+
+/// Aggregate serving metrics. Sketches hold one entry per completed
+/// request; query them only at quiescence (PercentileSketch caches its
+/// sort).
+struct GatewayStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue = 0;
+  uint64_t shed_rate_limited = 0;
+  uint64_t completed = 0;
+  uint64_t batches = 0;
+  /// High-water mark of any tenant queue depth.
+  uint64_t max_queue_depth = 0;
+  uint64_t total_ios = 0;
+  double service_ns_total = 0.0;
+  util::PercentileSketch total_latency_ns;
+  util::PercentileSketch queue_latency_ns;
+  util::PercentileSketch service_latency_ns;
+
+  uint64_t shed() const { return shed_queue + shed_rate_limited; }
+  double ShedFraction() const {
+    return submitted == 0
+               ? 0.0
+               : static_cast<double>(shed()) / static_cast<double>(submitted);
+  }
+};
+
+/// Per-tenant admission counters.
+struct TenantCounters {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue = 0;
+  uint64_t shed_rate_limited = 0;
+  /// High-water mark of this tenant's queue depth.
+  uint64_t max_queue_depth = 0;
+};
+
+/// \brief In-process serving front-end: accepts concurrent per-tenant
+/// request streams, enforces overload policy (token-bucket rate limits,
+/// bounded-queue admission control, backpressure signaling), coalesces
+/// admitted requests into `engine::Op` batches submitted through
+/// `StorageEngine::ExecuteOps`, and attributes queue and service latency
+/// separately per request.
+///
+/// **Time model.** The gateway runs on *virtual time*: producers stamp
+/// every request with an open-loop arrival timestamp, and the service
+/// side advances a virtual engine clock by the engine-attributed latency
+/// of each dispatched batch (`engine_free_ns`). A batch starts at
+/// max(engine-free, oldest eligible arrival) and only ops that had
+/// arrived by that start join it, so queueing delay is the causal wait an
+/// op would experience on a real serial server — reproducible on the
+/// simulated backend, measured on the real-IO backend. Because dispatch
+/// decisions depend only on arrival timestamps and engine-attributed
+/// costs (never on wall-clock or thread scheduling), replaying a fixed
+/// arrival trace from one thread yields identical admit/shed decisions
+/// and identical latency attribution at any engine pool size.
+///
+/// **Admission.** Both overload checks are tenant-local and run at
+/// submit time, after the virtual clock has drained everything the
+/// engine could have finished by the request's arrival: first the token
+/// bucket (integer-exact credit in nanoseconds), then the queue depth
+/// bound. A shed request is counted and reported (`kRejected*`) and
+/// never reaches the engine — no queue slot, no engine op, no I/O.
+///
+/// **Threading.** Queues are finely locked MPSC: each tenant has its own
+/// mutex, so concurrent producers of different tenants never contend.
+/// Dispatch (engine access, the virtual clock, completions, stats) is
+/// serialized by one dispatch mutex; submitters opportunistically pump it
+/// with `try_lock`, and `Pump`/`Flush` pump it blocking. The engine is
+/// only ever driven under the dispatch mutex, honoring its
+/// externally-synchronized contract.
+class Gateway {
+ public:
+  /// `engine` is borrowed, not owned, and must outlive the gateway. The
+  /// caller must not drive the engine while the gateway serves it.
+  Gateway(engine::StorageEngine* engine, const GatewayConfig& config);
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Submits one request on `tenant`'s stream with open-loop arrival
+  /// timestamp `arrival_ns` (monotone non-decreasing per producer).
+  /// Admission happens here; admitted requests complete asynchronously
+  /// (drain with `PollCompletions` after `Pump`/`Flush`).
+  SubmitResult Submit(uint32_t tenant, const engine::Op& op,
+                      uint64_t arrival_ns);
+
+  /// Advances virtual time to (at least) `now_ns`, dispatching every
+  /// batch the engine could have started by then. Blocking (takes the
+  /// dispatch mutex).
+  void Pump(uint64_t now_ns);
+
+  /// Drains all queues regardless of virtual time (end of trace). After
+  /// Flush, every admitted request has a completion.
+  void Flush();
+
+  /// Appends all buffered completions to `*out`; returns how many.
+  size_t PollCompletions(std::vector<Completion>* out);
+
+  /// Current depth of one tenant's queue.
+  size_t QueueDepth(uint32_t tenant) const;
+
+  /// Virtual time at which the engine finishes its last dispatched batch.
+  double engine_free_ns() const;
+
+  /// Copy of the aggregate metrics (take at quiescence for quantiles).
+  GatewayStats StatsSnapshot() const;
+
+  /// Copy of one tenant's admission counters.
+  TenantCounters TenantStats(uint32_t tenant) const;
+
+  /// Attaches (or detaches, with nullptr) a batch observer fired after
+  /// every dispatched batch with engine ops, results, per-tenant queue
+  /// depths, and per-shard cost deltas (`event.ops` is null: there is no
+  /// generator behind gateway traffic). The arbiter attaches here to ride
+  /// gateway batch boundaries. Not owned; must outlive its use. The
+  /// observer runs under the dispatch mutex and may reconfigure the
+  /// engine but must not submit to the gateway.
+  void set_observer(workload::BatchObserver* observer) {
+    observer_ = observer;
+  }
+  workload::BatchObserver* observer() const { return observer_; }
+
+  const GatewayConfig& config() const { return config_; }
+  engine::StorageEngine* engine() const { return engine_; }
+
+ private:
+  /// Integer-exact token bucket: credit accrues in whole nanoseconds, one
+  /// token costs `ns_per_token` of credit.
+  struct TokenBucket {
+    uint64_t ns_per_token = 0;  // 0 = unlimited
+    uint64_t cap_ns = 0;
+    uint64_t credit_ns = 0;
+    uint64_t last_ns = 0;
+
+    bool TryTake(uint64_t now_ns);
+  };
+
+  struct PendingRequest {
+    engine::Op op;
+    uint64_t id = 0;
+    uint64_t arrival_ns = 0;
+  };
+
+  struct Tenant {
+    mutable std::mutex mu;
+    std::deque<PendingRequest> queue;
+    TokenBucket bucket;
+    TenantCounters counters;
+  };
+
+  /// Non-blocking pump: dispatches when the dispatch mutex is free,
+  /// otherwise leaves the work to whoever holds it.
+  void TryPump();
+
+  /// Dispatch loop; `dispatch_mu_` must be held. `now_ns` bounds the
+  /// virtual time batches may start at (use +inf to drain everything).
+  void PumpLocked(double now_ns);
+
+  /// One dispatch step; returns false when nothing could start by
+  /// `now_ns`. `dispatch_mu_` must be held.
+  bool DispatchOne(double now_ns);
+
+  engine::StorageEngine* engine_;
+  GatewayConfig config_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> max_arrival_ns_{0};
+  std::atomic<size_t> total_pending_{0};
+
+  mutable std::mutex dispatch_mu_;
+  // --- everything below is guarded by dispatch_mu_ -----------------------
+  double engine_free_ns_ = 0.0;
+  size_t rr_cursor_ = 0;
+  size_t batch_index_ = 0;
+  std::vector<Completion> completions_;
+  GatewayStats stats_;
+  // Scratch buffers reused across dispatches.
+  std::vector<engine::Op> batch_ops_;
+  std::vector<engine::OpResult> batch_results_;
+  std::vector<PendingRequest> batch_meta_;
+  std::vector<uint32_t> batch_tenants_;
+  std::vector<uint64_t> depths_scratch_;
+  std::vector<double> shard_cost_scratch_;
+
+  workload::BatchObserver* observer_ = nullptr;
+};
+
+}  // namespace camal::serve
+
+#endif  // CAMAL_SERVE_GATEWAY_H_

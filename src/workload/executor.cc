@@ -7,44 +7,6 @@
 
 namespace camal::workload {
 
-engine::Op ToEngineOp(const Operation& op) {
-  engine::Op out;
-  out.key = op.key;
-  switch (op.type) {
-    case OpType::kZeroResultLookup:
-    case OpType::kNonZeroResultLookup:
-      out.kind = engine::OpKind::kGet;
-      break;
-    case OpType::kRangeLookup:
-      out.kind = engine::OpKind::kScan;
-      out.scan_len = op.scan_len;
-      break;
-    case OpType::kWrite:
-      out.kind = engine::OpKind::kPut;
-      out.value = op.value;
-      break;
-    case OpType::kDelete:
-      out.kind = engine::OpKind::kDelete;
-      break;
-  }
-  return out;
-}
-
-void AccumulateOpResult(OpType type, const engine::OpResult& result,
-                        ExecutionResult* out) {
-  if (type == OpType::kZeroResultLookup ||
-      type == OpType::kNonZeroResultLookup) {
-    if (result.found) {
-      ++out->lookups_found;
-    } else {
-      ++out->lookups_missed;
-    }
-  }
-  out->latency_ns.Add(result.latency_ns);
-  out->total_ns += result.latency_ns;
-  out->total_ios += result.ios;
-}
-
 ExecutionResult Execute(engine::StorageEngine* engine,
                         const model::WorkloadSpec& spec,
                         const ExecutorConfig& config, KeySpace* keys) {
@@ -64,6 +26,7 @@ ExecutionResult Execute(engine::StorageEngine* engine,
   ops.reserve(batch);
 
   size_t remaining = config.num_ops;
+  size_t batch_index = 0;
   while (remaining > 0) {
     const size_t n = std::min(batch, remaining);
     pending.clear();
@@ -78,8 +41,16 @@ ExecutionResult Execute(engine::StorageEngine* engine,
       AccumulateOpResult(pending[i].type, op_results[i], &result);
     }
     if (config.hook != nullptr) {
-      config.hook->OnBatch(engine, pending.data(), n);
+      BatchEvent event;
+      event.batch_index = batch_index;
+      event.count = n;
+      event.ops = pending.data();
+      event.engine_ops = ops.data();
+      event.results = op_results.data();
+      CountBatchKinds(&event);
+      config.hook->OnBatchEvent(engine, event);
     }
+    ++batch_index;
     remaining -= n;
   }
   result.num_ops = config.num_ops;

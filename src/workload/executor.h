@@ -6,30 +6,14 @@
 
 #include "engine/storage_engine.h"
 #include "model/workload_spec.h"
-#include "util/stats.h"
 #include "workload/generator.h"
+#include "workload/request.h"
 
 namespace camal::util {
 class ThreadPool;
 }  // namespace camal::util
 
 namespace camal::workload {
-
-/// Observes executed batches. The arbitration layer implements this to
-/// account per-shard traffic and redistribute memory between batches;
-/// anything deterministic that wants to watch (or reconfigure) the engine
-/// at batch boundaries fits. Implementations may call `Reconfigure*` on
-/// the engine but must not execute operations on it.
-class BatchHook {
- public:
-  /// Hooks are borrowed (never owned) by the executor; destruction is
-  /// the attaching caller's business.
-  virtual ~BatchHook() = default;
-
-  /// Called after each batch has executed, before the next is generated.
-  virtual void OnBatch(engine::StorageEngine* engine, const Operation* ops,
-                       size_t count) = 0;
-};
 
 /// Execution knobs.
 struct ExecutorConfig {
@@ -43,43 +27,11 @@ struct ExecutorConfig {
   size_t batch_ops = 512;
   /// Optional batch observer (not owned; must outlive the run). Null —
   /// the default — leaves execution exactly as before. Because batches
-  /// are cut deterministically, a deterministic hook keeps the whole run
-  /// deterministic.
-  BatchHook* hook = nullptr;
+  /// are cut deterministically, a deterministic observer keeps the whole
+  /// run deterministic. Legacy `BatchHook`s attach unchanged (they are
+  /// observers through the shim in request.h).
+  BatchObserver* hook = nullptr;
 };
-
-/// What a workload run measured.
-struct ExecutionResult {
-  util::PercentileSketch latency_ns;
-  double total_ns = 0.0;
-  uint64_t total_ios = 0;
-  size_t num_ops = 0;
-  size_t lookups_found = 0;
-  size_t lookups_missed = 0;
-
-  double MeanLatencyNs() const {
-    return num_ops == 0 ? 0.0 : total_ns / static_cast<double>(num_ops);
-  }
-  double IosPerOp() const {
-    return num_ops == 0 ? 0.0
-                        : static_cast<double>(total_ios) /
-                              static_cast<double>(num_ops);
-  }
-  /// Tail latencies from the per-operation sketch.
-  double P90LatencyNs() const { return latency_ns.Quantile(0.90); }
-  double P99LatencyNs() const { return latency_ns.Quantile(0.99); }
-};
-
-/// Translates a generated workload operation into the engine's batched op
-/// representation (the zero-/non-zero-result lookup distinction collapses
-/// to kGet; the engine does not care which kind of lookup it serves).
-engine::Op ToEngineOp(const Operation& op);
-
-/// Folds one engine-attributed operation result into the aggregate,
-/// crediting found/missed for lookups. `type` must be the OpType the
-/// result's op was generated as.
-void AccumulateOpResult(OpType type, const engine::OpResult& result,
-                        ExecutionResult* out);
 
 /// Runs `config.num_ops` operations drawn from `spec` against `engine`
 /// through the batched `StorageEngine::ExecuteOps` pipeline; per-op

@@ -1,0 +1,50 @@
+#include "workload/request.h"
+
+namespace camal::workload {
+
+engine::Op ToEngineOp(const Operation& op) {
+  engine::Op out;
+  out.key = op.key;
+  switch (op.type) {
+    case OpType::kZeroResultLookup:
+    case OpType::kNonZeroResultLookup:
+      out.kind = engine::OpKind::kGet;
+      break;
+    case OpType::kRangeLookup:
+      out.kind = engine::OpKind::kScan;
+      out.scan_len = op.scan_len;
+      break;
+    case OpType::kWrite:
+      out.kind = engine::OpKind::kPut;
+      out.value = op.value;
+      break;
+    case OpType::kDelete:
+      out.kind = engine::OpKind::kDelete;
+      break;
+  }
+  return out;
+}
+
+void AccumulateOpResult(OpType type, const engine::OpResult& result,
+                        ExecutionResult* out) {
+  if (type == OpType::kZeroResultLookup ||
+      type == OpType::kNonZeroResultLookup) {
+    if (result.found) {
+      ++out->lookups_found;
+    } else {
+      ++out->lookups_missed;
+    }
+  }
+  out->latency_ns.Add(result.latency_ns);
+  out->total_ns += result.latency_ns;
+  out->total_ios += result.ios;
+}
+
+void CountBatchKinds(BatchEvent* event) {
+  event->kind_counts = {0, 0, 0, 0};
+  for (size_t i = 0; i < event->count; ++i) {
+    ++event->kind_counts[static_cast<size_t>(event->engine_ops[i].kind)];
+  }
+}
+
+}  // namespace camal::workload
