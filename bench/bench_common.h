@@ -46,6 +46,26 @@ inline int& EngineThreadsRef() {
 }
 inline int EngineThreads() { return EngineThreadsRef(); }
 
+/// Process-wide read-submission mode selected by `--io-mode=pread|uring|auto`
+/// (default auto). Applied as `SystemSetup::io_mode`; only meaningful for
+/// benches running on the real-IO backend — `SystemSetup::Validate` rejects
+/// non-default values on backend=sim, so sim benches fail fast with an
+/// explanatory message instead of silently ignoring the flag.
+inline tune::FileIoMode& IoModeRef() {
+  static tune::FileIoMode mode = tune::FileIoMode::kAuto;
+  return mode;
+}
+inline tune::FileIoMode IoMode() { return IoModeRef(); }
+
+/// Process-wide ring queue depth selected by `--io-queue-depth=N` (default
+/// 1: serial reads, bit-identical to the historical pread path). Applied as
+/// `SystemSetup::io_queue_depth`; rejected on backend=sim like --io-mode.
+inline int& IoQueueDepthRef() {
+  static int depth = 1;
+  return depth;
+}
+inline int IoQueueDepth() { return IoQueueDepthRef(); }
+
 /// Parses `--threads=N`, `--shards=N`, and `--engine-threads=N` (or
 /// space-separated) arguments, removes them from argv, and configures the
 /// process-wide pool / shard count / engine parallelism. Threads: N = 0
@@ -72,9 +92,21 @@ inline int InitBenchThreads(int* argc, char** argv) {
     }
     return v;
   };
+  const auto parse_io_mode = [](const char* s, tune::FileIoMode fallback) {
+    if (std::strcmp(s, "pread") == 0) return tune::FileIoMode::kPread;
+    if (std::strcmp(s, "uring") == 0) return tune::FileIoMode::kUring;
+    if (std::strcmp(s, "auto") == 0) return tune::FileIoMode::kAuto;
+    std::fprintf(stderr,
+                 "[bench] invalid --io-mode value '%s' (want "
+                 "pread|uring|auto); keeping the default\n",
+                 s);
+    return fallback;
+  };
   long threads = 1;
   long shards = 1;
   long engine_threads = 1;
+  tune::FileIoMode io_mode = tune::FileIoMode::kAuto;
+  long io_queue_depth = 1;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -107,6 +139,26 @@ inline int InitBenchThreads(int* argc, char** argv) {
                      "[bench] --engine-threads needs a value (0 = all "
                      "cores); keeping engines serial\n");
       }
+    } else if (std::strncmp(argv[i], "--io-mode=", 10) == 0) {
+      io_mode = parse_io_mode(argv[i] + 10, io_mode);
+    } else if (std::strcmp(argv[i], "--io-mode") == 0) {
+      if (i + 1 < *argc) {
+        io_mode = parse_io_mode(argv[++i], io_mode);
+      } else {
+        std::fprintf(stderr,
+                     "[bench] --io-mode needs a value (pread|uring|auto)\n");
+      }
+    } else if (std::strncmp(argv[i], "--io-queue-depth=", 17) == 0) {
+      io_queue_depth =
+          parse("--io-queue-depth", argv[i] + 17, 1, 1024, io_queue_depth);
+    } else if (std::strcmp(argv[i], "--io-queue-depth") == 0) {
+      if (i + 1 < *argc) {
+        io_queue_depth =
+            parse("--io-queue-depth", argv[++i], 1, 1024, io_queue_depth);
+      } else {
+        std::fprintf(stderr,
+                     "[bench] --io-queue-depth needs a value (>= 1)\n");
+      }
     } else {
       argv[out++] = argv[i];
     }
@@ -116,6 +168,8 @@ inline int InitBenchThreads(int* argc, char** argv) {
   util::SetGlobalThreads(static_cast<int>(threads));
   ShardsRef() = static_cast<size_t>(shards);
   EngineThreadsRef() = static_cast<int>(engine_threads);
+  IoModeRef() = io_mode;
+  IoQueueDepthRef() = static_cast<int>(io_queue_depth);
   const int resolved = util::GlobalThreads();
   if (resolved > 1) {
     std::printf("[bench] running with %d threads\n", resolved);
@@ -126,6 +180,13 @@ inline int InitBenchThreads(int* argc, char** argv) {
   if (engine_threads != 1) {
     std::printf("[bench] engines fan batched ops across %ld workers\n",
                 engine_threads);
+  }
+  if (io_mode != tune::FileIoMode::kAuto || io_queue_depth != 1) {
+    std::printf("[bench] file engines use io_mode=%s queue depth %ld\n",
+                io_mode == tune::FileIoMode::kPread
+                    ? "pread"
+                    : (io_mode == tune::FileIoMode::kUring ? "uring" : "auto"),
+                io_queue_depth);
   }
   return resolved;
 }
@@ -162,6 +223,8 @@ inline tune::SystemSetup BenchSetup() {
   tune::SystemSetup setup;
   setup.num_shards = Shards();
   setup.engine_threads = EngineThreads();
+  setup.io_mode = IoMode();
+  setup.io_queue_depth = IoQueueDepth();
   // Abort on inconsistent knob combinations before any engine is built
   // (benches that tweak the returned setup re-validate through the
   // Evaluator, which runs the same check).

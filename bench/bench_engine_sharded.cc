@@ -32,6 +32,12 @@
 //                 system temp dir; use a tmpfs path for CI smoke)
 //   --arbiter=A   off | periodic — per-tenant memory arbitration
 //                 (default off: the even-split baseline)
+//   --qd=CSV      queue depths swept for file-backend cells (e.g.
+//                 --qd=1,8,32; default: the --io-queue-depth value). Depth
+//                 1 is the serial pread baseline; deeper rings overlap
+//                 block reads via io_uring where the kernel supports it.
+//                 Results and I/O counts are identical at every depth —
+//                 the sweep shows pure wall-clock movement.
 //   --skew=F      per-shard Zipf traffic hotness (default 0: uniform);
 //                 shard s receives weight 1/(s+1)^F
 //   --json PATH   also write the sweep as a JSON artifact
@@ -59,6 +65,11 @@ namespace {
 
 struct SweepRow {
   const char* backend = "sim";
+  /// Read-submission path actually engaged: "uring" when any shard holds a
+  /// live ring, "pread" on the serial/fallback path, "sim" for the
+  /// simulated backend (which issues no real reads).
+  const char* io_backend = "sim";
+  uint32_t io_queue_depth = 1;
   const char* mode = "serial";
   const char* arbiter = "off";
   double skew = 0.0;
@@ -89,10 +100,24 @@ struct SweepConfig {
   std::string workdir;  // file backend; empty = system temp dir
   bool arbiter = false;
   double skew = 0.0;
+  /// Queue depths swept for file cells (--qd=CSV); sim cells ignore it.
+  std::vector<uint32_t> qd_sweep;
 };
 
+engine::IoMode BenchIoMode() {
+  switch (IoMode()) {
+    case tune::FileIoMode::kPread:
+      return engine::IoMode::kPread;
+    case tune::FileIoMode::kUring:
+      return engine::IoMode::kUring;
+    case tune::FileIoMode::kAuto:
+      break;
+  }
+  return engine::IoMode::kAuto;
+}
+
 SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
-                 bool async, bool file_backend) {
+                 bool async, bool file_backend, uint32_t queue_depth) {
   tune::SystemSetup setup;
   setup.num_entries = cfg.entries_per_tenant;
   setup.total_memory_bits = 16 * cfg.entries_per_tenant;
@@ -116,6 +141,8 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
         fcfg.workdir = cfg.workdir + "/cell_" +
                        std::to_string(engine::FileEngine::NextUniqueId());
       }
+      fcfg.io_mode = BenchIoMode();
+      fcfg.io_queue_depth = queue_depth;
       auto fe = std::make_unique<engine::FileEngine>(
           shards, config.ToOptions(setup), fcfg);
       if (async) fe->set_pool(pool.get());
@@ -169,6 +196,11 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
 
   SweepRow row;
   row.backend = file_backend ? "file" : "sim";
+  if (file_backend) {
+    row.io_backend =
+        static_cast<const engine::FileEngine&>(*tenants.front()).io_backend();
+    row.io_queue_depth = queue_depth;
+  }
   row.mode = async ? "async" : "serial";
   row.arbiter = (cfg.arbiter && shards > 1) ? "periodic" : "off";
   row.skew = cfg.skew;
@@ -234,15 +266,16 @@ void WriteJson(const std::string& path, const SweepConfig& cfg,
   for (size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(f,
-                 "    {\"backend\": \"%s\", \"mode\": \"%s\", "
+                 "    {\"backend\": \"%s\", \"io_backend\": \"%s\", "
+                 "\"io_queue_depth\": %u, \"mode\": \"%s\", "
                  "\"arbiter\": \"%s\", "
                  "\"skew\": %.3f, \"shards\": %zu, \"threads\": %zu, "
                  "\"wall_ms\": %.3f, \"ops_per_sec\": %.1f, "
                  "\"sim_mean_us\": %.3f, \"sim_p99_us\": %.3f, "
                  "\"sim_ios_per_op\": %.4f, ",
-                 r.backend, r.mode, r.arbiter, r.skew, r.shards, r.threads,
-                 r.wall_ms, r.ops_per_sec, r.sim_mean_us, r.sim_p99_us,
-                 r.sim_ios_per_op);
+                 r.backend, r.io_backend, r.io_queue_depth, r.mode, r.arbiter,
+                 r.skew, r.shards, r.threads, r.wall_ms, r.ops_per_sec,
+                 r.sim_mean_us, r.sim_p99_us, r.sim_ios_per_op);
     print_u64_array("shard_budget_bits", r.shard_budget_bits);
     std::fprintf(f, ", ");
     print_u64_array("shard_entries", r.shard_entries);
@@ -266,10 +299,17 @@ void Run(const SweepConfig& cfg, const std::string& json_path) {
               cfg.ops_per_tenant,
               static_cast<unsigned long long>(cfg.entries_per_tenant),
               cfg.arbiter ? "periodic" : "off", cfg.skew);
-  std::printf("%7s %7s %7s %8s %9s %11s %12s %11s %8s\n", "backend", "mode",
-              "shards", "tenants", "wall ms", "ops/sec", "mean us", "p99 us",
-              "ios/op");
-  PrintRule(88);
+  std::printf("%7s %7s %4s %7s %8s %9s %11s %12s %11s %8s\n", "backend", "io",
+              "qd", "shards", "tenants", "wall ms", "ops/sec", "mean us",
+              "p99 us", "ios/op");
+  PrintRule(96);
+
+  // File cells sweep the requested queue depths; sim cells (no real reads
+  // to overlap) run once at the nominal depth 1.
+  std::vector<uint32_t> qds = cfg.qd_sweep;
+  if (qds.empty()) {
+    qds.push_back(static_cast<uint32_t>(std::max(1, IoQueueDepth())));
+  }
 
   std::vector<SweepRow> rows;
   for (int file = 0; file <= 1; ++file) {
@@ -280,12 +320,15 @@ void Run(const SweepConfig& cfg, const std::string& json_path) {
       if (async == 1 && !cfg.run_async) continue;
       for (size_t shards = 1; shards <= cfg.max_shards; shards *= 2) {
         for (size_t threads = 1; threads <= cfg.max_threads; threads *= 2) {
-          const SweepRow row =
-              RunCell(cfg, shards, threads, async == 1, file == 1);
-          std::printf("%7s %7s %7zu %8zu %9.1f %11.0f %12.2f %11.2f %8.3f\n",
-                      row.backend, row.mode, row.shards, row.threads,
-                      row.wall_ms, row.ops_per_sec, row.sim_mean_us,
-                      row.sim_p99_us, row.sim_ios_per_op);
+          const size_t num_qds = file == 1 ? qds.size() : 1;
+          for (size_t qi = 0; qi < num_qds; ++qi) {
+          const SweepRow row = RunCell(cfg, shards, threads, async == 1,
+                                       file == 1, qds[qi]);
+          std::printf(
+              "%7s %7s %4u %7zu %8zu %9.1f %11.0f %12.2f %11.2f %8.3f\n",
+              row.backend, row.io_backend, row.io_queue_depth, row.shards,
+              row.threads, row.wall_ms, row.ops_per_sec, row.sim_mean_us,
+              row.sim_p99_us, row.sim_ios_per_op);
           if (cfg.arbiter && row.shards > 1) {
             // Where tenant 0's budget settled (even split when no round
             // moved memory).
@@ -296,6 +339,7 @@ void Run(const SweepConfig& cfg, const std::string& json_path) {
             std::printf("\n");
           }
           rows.push_back(row);
+          }
         }
       }
     }
@@ -379,6 +423,28 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(arb, "off") != 0) {
         std::fprintf(stderr, "invalid --arbiter value '%s' (off|periodic)\n",
                      arb);
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--qd=", 5) == 0) {
+      const char* p = argv[i] + 5;
+      cfg.qd_sweep.clear();
+      while (*p != '\0') {
+        char* end = nullptr;
+        errno = 0;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v < 1 || v > 1024 || errno == ERANGE ||
+            (*end != '\0' && *end != ',')) {
+          std::fprintf(stderr,
+                       "invalid --qd value '%s' (want a CSV of depths in "
+                       "[1, 1024], e.g. --qd=1,8,32)\n",
+                       argv[i] + 5);
+          return 1;
+        }
+        cfg.qd_sweep.push_back(static_cast<uint32_t>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
+      if (cfg.qd_sweep.empty()) {
+        std::fprintf(stderr, "--qd needs at least one depth\n");
         return 1;
       }
     } else if (std::strncmp(argv[i], "--skew=", 7) == 0) {

@@ -65,11 +65,13 @@ TuningConfig CamalTuner::RecommendFor(const model::WorkloadSpec& w,
         best = candidate;
       }
     }
+    TuningConfig chosen = best;
     const TuningConfig argmin = ArgminOverGrid(normalized, target);
     if (PredictObjective(normalized, argmin, target) < 0.75 * best_pred) {
-      return argmin;
+      chosen = argmin;
     }
-    return best;
+    ApplyIoDepthRecommendation(normalized, target, &chosen);
+    return chosen;
   }
   // Group this workload's samples by configuration (repeat measurements of
   // the same point — e.g. from the refine rounds — average out) and pick
@@ -101,7 +103,9 @@ TuningConfig CamalTuner::RecommendFor(const model::WorkloadSpec& w,
   }
   // Lemma 5.1: rescale the measured configuration to the target scale.
   const double k = target.num_entries / best->sample->sys.num_entries;
-  return ExtrapolateConfig(best->sample->config, k);
+  TuningConfig scaled = ExtrapolateConfig(best->sample->config, k);
+  ApplyIoDepthRecommendation(normalized, target, &scaled);
+  return scaled;
 }
 
 std::vector<TuningConfig> CamalTuner::CandidateGrid(

@@ -43,6 +43,19 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
             : setup_.file_workdir + "/m_" +
                   std::to_string(engine::FileEngine::NextUniqueId());
     fcfg.workdir = base;
+    switch (setup_.io_mode) {
+      case FileIoMode::kPread:
+        fcfg.io_mode = engine::IoMode::kPread;
+        break;
+      case FileIoMode::kUring:
+        fcfg.io_mode = engine::IoMode::kUring;
+        break;
+      case FileIoMode::kAuto:
+        fcfg.io_mode = engine::IoMode::kAuto;
+        break;
+    }
+    fcfg.io_queue_depth = static_cast<uint32_t>(
+        std::max(1, setup_.io_queue_depth));
     auto fe = std::make_unique<engine::FileEngine>(
         num_shards, config.ToOptions(setup_), fcfg);
     fe->set_pool(engine_pool_.get());

@@ -99,6 +99,19 @@ util::Status SystemSetup::Validate() const {
         "file_workdir is set but backend is kSim: the simulated backend "
         "never touches files (did you mean backend = kFile?)");
   }
+  if (backend == EngineBackend::kSim && io_mode != FileIoMode::kAuto) {
+    return Status::InvalidArgument(
+        "io_mode is set but backend is kSim: the simulated backend issues "
+        "no real reads to submit (did you mean backend = kFile?)");
+  }
+  if (backend == EngineBackend::kSim && io_queue_depth != 1) {
+    return Status::InvalidArgument(
+        "io_queue_depth != 1 but backend is kSim: the simulated backend "
+        "has no submission ring (did you mean backend = kFile?)");
+  }
+  if (io_queue_depth < 1 || io_queue_depth > 1024) {
+    return Status::InvalidArgument("io_queue_depth must be in [1, 1024]");
+  }
   if (serve_mode == ServeMode::kGateway && gateway_interarrival_ns <= 0.0) {
     return Status::InvalidArgument(
         "serve_mode = kGateway needs gateway_interarrival_ns > 0: "
@@ -157,6 +170,7 @@ lsm::Options TuningConfig::ToOptions(const SystemSetup& setup) const {
       static_cast<uint64_t>(std::llround(std::max(0.0, mc_bits) / 8.0));
   opts.runs_per_level = runs_per_level;
   opts.file_bytes = file_bytes;
+  opts.io_queue_depth = io_queue_depth;
   return opts;
 }
 
@@ -167,17 +181,19 @@ model::ModelConfig TuningConfig::ToModelConfig() const {
   c.mf_bits = mf_bits;
   c.mb_bits = mb_bits;
   c.runs_per_level = runs_per_level;
+  c.io_queue_depth = std::max(1.0, static_cast<double>(io_queue_depth));
   return c;
 }
 
 std::string TuningConfig::ToString() const {
-  char buf[160];
+  char buf[176];
   std::snprintf(
       buf, sizeof(buf),
-      "{%s T=%.0f mf=%.0fKb mb=%.0fKb mc=%.0fKb K=%d file=%lluKB}",
+      "{%s T=%.0f mf=%.0fKb mb=%.0fKb mc=%.0fKb K=%d file=%lluKB qd=%d}",
       policy == lsm::CompactionPolicy::kLeveling ? "level" : "tier",
       size_ratio, mf_bits / 1024.0, mb_bits / 1024.0, mc_bits / 1024.0,
-      runs_per_level, static_cast<unsigned long long>(file_bytes / 1024));
+      runs_per_level, static_cast<unsigned long long>(file_bytes / 1024),
+      io_queue_depth);
   return buf;
 }
 

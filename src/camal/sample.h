@@ -37,6 +37,12 @@ enum class EngineBackend { kSim, kFile };
 /// measurement includes queueing delay and a shed rate.
 enum class ServeMode { kClosedLoop, kGateway };
 
+/// Read-submission mode of `kFile` measurement engines (mirrors
+/// `engine::IoMode`; the Evaluator maps it through): `kPread` — serial
+/// block reads — `kUring` — io_uring ring submission where supported —
+/// or `kAuto` — ring only when the queue depth asks for overlap.
+enum class FileIoMode { kPread, kUring, kAuto };
+
 /// The experimental scale: data size, memory budget, device, and query
 /// volumes. One SystemSetup corresponds to one "database server" in the
 /// paper's evaluation.
@@ -95,6 +101,15 @@ struct SystemSetup {
   /// creates (and removes) a unique subdirectory. Empty = the system
   /// temp dir.
   std::string file_workdir;
+  /// Read-submission mode of `kFile` measurement engines. `kAuto` with
+  /// `io_queue_depth` 1 (the defaults) preserves the serial pread path
+  /// byte for byte; results and I/O counts are identical whatever the
+  /// mode — only wall-clock changes.
+  FileIoMode io_mode = FileIoMode::kAuto;
+  /// Engine-default ring queue depth of `kFile` measurement engines
+  /// (block reads kept in flight per shard; 1 = no overlap). Per-shard
+  /// tunings override it through `lsm::Options::io_queue_depth`.
+  int io_queue_depth = 1;
   /// Serving mode of measurement runs. `kClosedLoop` (the default) is
   /// bit-identical to the pre-gateway evaluator; `kGateway` serves the
   /// query phase through `serve::Gateway` with open-loop Poisson
@@ -151,6 +166,10 @@ struct TuningConfig {
   int runs_per_level = 0;
   /// SST file size extension knob (0 = one file per run).
   uint64_t file_bytes = 0;
+  /// Ring queue depth extension knob (real-IO backend only; 0 = engine
+  /// default, i.e. not tuned). Priced by the cost model's overlap term;
+  /// recommended when `TunerOptions::tune_io_depth` is on.
+  int io_queue_depth = 0;
 
   /// Materializes engine options for the given setup.
   lsm::Options ToOptions(const SystemSetup& setup) const;

@@ -80,6 +80,15 @@ double ModelBackedTuner::MaxBloomBpk(const model::SystemParams& target) const {
   return std::clamp(spare / target.num_entries, 0.0, 16.0);
 }
 
+void ModelBackedTuner::ApplyIoDepthRecommendation(
+    const model::WorkloadSpec& w, const model::SystemParams& target,
+    TuningConfig* c) const {
+  if (!options_.tune_io_depth) return;
+  const model::CostModel cm(target);
+  c->io_queue_depth = cm.RecommendedQueueDepth(
+      w.Normalized(), c->ToModelConfig(), options_.max_io_queue_depth);
+}
+
 std::vector<TuningConfig> ModelBackedTuner::CandidateGrid(
     const model::WorkloadSpec& /*w*/,
     const model::SystemParams& target) const {
@@ -212,9 +221,12 @@ TuningConfig ModelBackedTuner::RecommendFor(
     c.size_ratio = opt.config.size_ratio;
     c.mf_bits = opt.config.mf_bits;
     c.mb_bits = opt.config.mb_bits;
+    ApplyIoDepthRecommendation(w, target, &c);
     return c;
   }
-  return ArgminOverGrid(w, target);
+  TuningConfig best = ArgminOverGrid(w, target);
+  ApplyIoDepthRecommendation(w, target, &best);
+  return best;
 }
 
 }  // namespace camal::tune

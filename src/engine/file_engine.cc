@@ -10,13 +10,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <limits>
 #include <list>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
+#include "engine/io_ring.h"
 #include "engine/sharded_engine.h"
 #include "lsm/bloom.h"
 #include "util/random.h"
@@ -73,6 +76,12 @@ inline double NowNs() {
       .count();
 }
 
+/// An immutable cached block. Shared ownership lets cache hits hand the
+/// caller a reference instead of a copy (runs are append-only, so block
+/// bytes never change once read), and keeps a block a scan cursor holds
+/// alive across an eviction.
+using BlockPtr = std::shared_ptr<const std::vector<char>>;
+
 /// LRU block cache that carries block *contents* (unlike the simulated
 /// `lsm::BlockCache`, which only tracks hit/miss — a real backend must
 /// serve cached bytes, not just skip a charge).
@@ -82,22 +91,30 @@ class ContentCache {
       : capacity_(capacity_blocks) {}
 
   /// Returns the cached block (promoted to MRU) or nullptr.
-  const std::vector<char>* Lookup(uint64_t key) {
+  BlockPtr Lookup(uint64_t key) {
     auto it = map_.find(key);
     if (it == map_.end()) return nullptr;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return &it->second->second;
+    return it->second->second;
   }
 
-  void Insert(uint64_t key, const std::vector<char>& content) {
+  /// Returns the cached block without promoting it. The ring path's
+  /// discovery pass peeks so that resolving access sequences never
+  /// perturbs the LRU order its replay pass reproduces.
+  BlockPtr Peek(uint64_t key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second->second;
+  }
+
+  void Insert(uint64_t key, BlockPtr content) {
     if (capacity_ == 0) return;
     auto it = map_.find(key);
     if (it != map_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
-      it->second->second = content;
+      it->second->second = std::move(content);
       return;
     }
-    lru_.emplace_front(key, content);
+    lru_.emplace_front(key, std::move(content));
     map_[key] = lru_.begin();
     EvictToCapacity();
   }
@@ -116,9 +133,9 @@ class ContentCache {
   }
 
   uint64_t capacity_;
-  std::list<std::pair<uint64_t, std::vector<char>>> lru_;
-  std::unordered_map<
-      uint64_t, std::list<std::pair<uint64_t, std::vector<char>>>::iterator>
+  std::list<std::pair<uint64_t, BlockPtr>> lru_;
+  std::unordered_map<uint64_t,
+                     std::list<std::pair<uint64_t, BlockPtr>>::iterator>
       map_;
 };
 
@@ -198,6 +215,12 @@ struct FileEngine::Shard {
   uint64_t disk_entries = 0;
   /// pread target; block-aligned for O_DIRECT.
   fileio::AlignedBuf scratch;
+  /// Ring path state (null/empty on the pread path): the shard-owned
+  /// submission ring, one aligned read buffer per queue slot, and the
+  /// resolved queue depth (shard options override the engine default).
+  std::unique_ptr<fileio::IoRing> ring;
+  std::vector<fileio::AlignedBuf> ring_bufs;
+  uint32_t io_depth = 1;
 };
 
 namespace {
@@ -214,25 +237,22 @@ using fileio::SysCheck;
 using fileio::ToEntry;
 namespace fs = std::filesystem;
 
-/// Fetches block `blk` of `run` into `out` (cache-aware unless
-/// `bypass_cache`; compaction input bypasses it, matching the simulated
-/// cache policy).
-void FetchBlock(FileEngine::Shard& sh, const FileEngineConfig& cfg,
-                const FileRun& run, size_t blk, bool bypass_cache,
-                std::vector<char>* out) {
+/// Cache-aware fetch of block `blk` of `run`. A hit hands back the cached
+/// buffer (zero copies); a miss preads into the shard scratch buffer and
+/// materializes the bytes into exactly one heap buffer, shared between the
+/// caller and the cache.
+fileio::BlockPtr FetchBlock(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+                            const FileRun& run, size_t blk) {
   const uint64_t key = fileio::CacheKey(run.id, blk);
-  if (!bypass_cache) {
-    if (const std::vector<char>* hit = sh.cache.Lookup(key)) {
-      *out = *hit;
-      return;
-    }
-  }
+  if (fileio::BlockPtr hit = sh.cache.Lookup(key)) return hit;
   const ssize_t n = ::pread(run.fd, sh.scratch.get(), cfg.block_bytes,
                             static_cast<off_t>(blk * cfg.block_bytes));
   SysCheck(n == static_cast<ssize_t>(cfg.block_bytes), "pread", run.path);
-  out->assign(sh.scratch.get(), sh.scratch.get() + cfg.block_bytes);
+  auto block = std::make_shared<std::vector<char>>(
+      sh.scratch.get(), sh.scratch.get() + cfg.block_bytes);
   ++sh.clock.block_reads;
-  if (!bypass_cache) sh.cache.Insert(key, *out);
+  sh.cache.Insert(key, block);
+  return block;
 }
 
 /// Builds one run file from sorted, deduplicated `entries`: serializes
@@ -322,17 +342,20 @@ double BloomBpk(const FileEngine::Shard& sh, uint64_t incoming) {
 }
 
 /// Reads every entry of `run` sequentially (compaction input: bypasses the
-/// cache, counts real reads as compaction I/O).
+/// cache, counts real reads as compaction I/O). Records decode straight
+/// out of the scratch buffer — no per-block heap allocation at all.
 void ReadAllEntries(FileEngine::Shard& sh, const FileEngineConfig& cfg,
                     const FileRun& run, std::vector<lsm::Entry>* out) {
   const uint64_t epb = EntriesPerBlock(cfg.block_bytes);
-  std::vector<char> block;
   for (size_t blk = 0; blk < run.num_blocks(); ++blk) {
-    FetchBlock(sh, cfg, run, blk, /*bypass_cache=*/true, &block);
+    const ssize_t n = ::pread(run.fd, sh.scratch.get(), cfg.block_bytes,
+                              static_cast<off_t>(blk * cfg.block_bytes));
+    SysCheck(n == static_cast<ssize_t>(cfg.block_bytes), "pread", run.path);
+    ++sh.clock.block_reads;
     ++sh.counters.compaction_block_reads;
     const uint64_t begin = blk * epb;
     const uint64_t count = std::min(epb, run.num_entries - begin);
-    const DiskEntry* records = BlockRecords(block);
+    const auto* records = reinterpret_cast<const DiskEntry*>(sh.scratch.get());
     for (uint64_t i = 0; i < count; ++i) out->push_back(ToEntry(records[i]));
   }
 }
@@ -436,7 +459,6 @@ bool DoGet(FileEngine::Shard& sh, const FileEngineConfig& cfg, uint64_t key,
     return true;
   }
   const uint64_t epb = EntriesPerBlock(cfg.block_bytes);
-  std::vector<char> block;
   for (const auto& level : sh.levels) {
     for (auto rit = level.rbegin(); rit != level.rend(); ++rit) {
       const FileRun& run = **rit;
@@ -447,10 +469,10 @@ bool DoGet(FileEngine::Shard& sh, const FileEngineConfig& cfg, uint64_t key,
           std::upper_bound(run.fence.begin(), run.fence.end(), key);
       const size_t blk =
           static_cast<size_t>(std::distance(run.fence.begin(), fit)) - 1;
-      FetchBlock(sh, cfg, run, blk, /*bypass_cache=*/false, &block);
+      const fileio::BlockPtr block = FetchBlock(sh, cfg, run, blk);
       const uint64_t begin = blk * epb;
       const uint64_t count = std::min(epb, run.num_entries - begin);
-      const DiskEntry* records = BlockRecords(block);
+      const DiskEntry* records = BlockRecords(*block);
       const DiskEntry* end = records + count;
       const DiskEntry* found = std::lower_bound(
           records, end, key,
@@ -465,6 +487,257 @@ bool DoGet(FileEngine::Shard& sh, const FileEngineConfig& cfg, uint64_t key,
     }
   }
   return false;
+}
+
+/// Resolves the shard's effective queue depth (shard options override the
+/// engine default when nonzero) and (re)builds its ring + slot buffers.
+/// The ring engages when the engine-level probe passed and either the
+/// mode forces it (kUring) or overlap is actually requested (depth > 1);
+/// kAuto at depth 1 keeps today's pread behavior byte for byte. A no-op
+/// when nothing changed, so arbiter-driven reconfigs stay cheap.
+void SetupShardRing(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+                    bool engine_uring) {
+  const uint32_t depth = std::max<uint32_t>(
+      1, sh.options.io_queue_depth > 0
+             ? static_cast<uint32_t>(sh.options.io_queue_depth)
+             : cfg.io_queue_depth);
+  const bool engage =
+      engine_uring && (cfg.io_mode == IoMode::kUring || depth > 1);
+  if (depth == sh.io_depth && engage == (sh.ring != nullptr)) return;
+  sh.io_depth = depth;
+  sh.ring.reset();
+  sh.ring_bufs.clear();
+  if (!engage) return;
+  auto ring = std::make_unique<fileio::IoRing>(depth);
+  if (!ring->ok()) return;  // per-shard setup failure: pread fallback
+  sh.ring = std::move(ring);
+  sh.ring_bufs.reserve(depth);
+  for (uint32_t i = 0; i < depth; ++i) {
+    sh.ring_bufs.push_back(AllocAligned(cfg.block_bytes, cfg.block_bytes));
+  }
+}
+
+/// Executes a maximal run of consecutive `kGet` ops from one shard's
+/// submission list with reads overlapped on the shard's io_uring ring (up
+/// to `sh.io_depth` in flight), reproducing the serial pread path's
+/// logical results and I/O accounting exactly.
+///
+/// Why two phases: a Get's *logical* block-access sequence — which runs
+/// pass the range/Bloom checks, which fence block each probes, where the
+/// probe chain stops — depends only on the immutable file set and the
+/// key, never on cache state (a cached block holds the same bytes as the
+/// file). The cache only decides which accesses are charged as reads and
+/// how the LRU evolves, and those decisions depend on strict op order.
+/// So:
+///
+///   Phase A (discovery) resolves every op's ordered access list with
+///   ring-overlapped reads, consulting the cache through non-promoting
+///   `Peek` and a window content table that dedups in-flight blocks.
+///   Phase B (replay) walks the ops serially in submission order,
+///   replaying `Lookup`/`Insert` against the real cache — producing
+///   exactly the serial path's per-op `ios`, `block_reads`, and final
+///   LRU state.
+///
+/// Physical reads can only decrease (in-window duplicate fetches dedup);
+/// every counter the engine reports is bit-identical to the pread path.
+/// Window wall time is attributed evenly across the window's ops (real
+/// latencies are allowed to vary; counters are the determinism contract).
+void ExecuteGetWindow(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+                      const Op* ops, const size_t* op_idx, size_t window,
+                      OpResult* results) {
+  const uint64_t epb = EntriesPerBlock(cfg.block_bytes);
+  const uint32_t depth = sh.io_depth;
+  const double t0 = NowNs();
+
+  // Flattened probe order: runs newest-first within each level, levels
+  // top-down — exactly the order DoGet walks.
+  std::vector<const FileRun*> probe;
+  for (const auto& level : sh.levels) {
+    for (auto rit = level.rbegin(); rit != level.rend(); ++rit) {
+      probe.push_back(rit->get());
+    }
+  }
+
+  struct GetState {
+    uint64_t key = 0;
+    size_t next_run = 0;  // next probe[] candidate to consider
+    bool resolved = false;
+    bool found = false;
+    bool waiting = false;  // parked on pending_key's content
+    uint64_t pending_key = 0;
+    const FileRun* pending_run = nullptr;
+    size_t pending_blk = 0;
+    std::vector<uint64_t> accesses;  // cache keys, in probe order
+  };
+  std::vector<GetState> states(window);
+
+  // Window content table: block bytes by cache key, filled from cache
+  // peeks and ring completions. Replay inserts into the cache from here.
+  std::unordered_map<uint64_t, fileio::BlockPtr> contents;
+  // Ops parked on a block that is queued or in flight.
+  std::unordered_map<uint64_t, std::vector<size_t>> waiters;
+  // Blocks requested but not yet completed (dedups fetches).
+  std::unordered_set<uint64_t> requested;
+  struct Fetch {
+    uint64_t key = 0;
+    const FileRun* run = nullptr;
+    size_t blk = 0;
+  };
+  std::deque<Fetch> backlog;  // waiting for a free ring slot
+  std::vector<uint64_t> slot_key(depth, 0);
+  std::vector<const FileRun*> slot_run(depth, nullptr);
+  std::vector<uint32_t> free_slots;
+  free_slots.reserve(depth);
+  for (uint32_t i = 0; i < depth; ++i) free_slots.push_back(i);
+  uint32_t inflight = 0;
+
+  // Advances one op until it resolves or parks on a block that is not
+  // available yet (registering it as a waiter and queueing the fetch).
+  auto advance = [&](size_t si) {
+    GetState& st = states[si];
+    while (!st.resolved) {
+      if (st.waiting) {
+        auto cit = contents.find(st.pending_key);
+        if (cit == contents.end()) return;  // still in flight
+        st.waiting = false;
+        const FileRun& run = *st.pending_run;
+        const uint64_t begin = st.pending_blk * epb;
+        const uint64_t count = std::min(epb, run.num_entries - begin);
+        const DiskEntry* records = BlockRecords(*cit->second);
+        const DiskEntry* end = records + count;
+        const DiskEntry* hit = std::lower_bound(
+            records, end, st.key,
+            [](const DiskEntry& d, uint64_t k) { return d.key < k; });
+        if (hit != end && hit->key == st.key) {
+          st.found = (hit->flags & kTombstoneFlag) == 0;
+          st.resolved = true;
+          return;
+        }
+        continue;  // Bloom false positive: on to the next candidate run
+      }
+      const FileRun* run = nullptr;
+      size_t blk = 0;
+      while (st.next_run < probe.size()) {
+        const FileRun* r = probe[st.next_run++];
+        if (st.key < r->min_key || st.key > r->max_key) continue;
+        if (!r->filter.MayContain(st.key)) continue;
+        const auto fit =
+            std::upper_bound(r->fence.begin(), r->fence.end(), st.key);
+        blk = static_cast<size_t>(std::distance(r->fence.begin(), fit)) - 1;
+        run = r;
+        break;
+      }
+      if (run == nullptr) {
+        st.resolved = true;  // every candidate exhausted: a miss
+        return;
+      }
+      const uint64_t ckey = fileio::CacheKey(run->id, blk);
+      st.accesses.push_back(ckey);
+      st.pending_key = ckey;
+      st.pending_run = run;
+      st.pending_blk = blk;
+      st.waiting = true;
+      if (contents.count(ckey) != 0) continue;  // fetched earlier this window
+      if (fileio::BlockPtr peeked = sh.cache.Peek(ckey)) {
+        contents.emplace(ckey, std::move(peeked));
+        continue;
+      }
+      if (requested.insert(ckey).second) backlog.push_back(Fetch{ckey, run, blk});
+      waiters[ckey].push_back(si);
+      return;
+    }
+  };
+
+  // Moves backlog entries into free ring slots and submits them.
+  auto pump = [&] {
+    while (inflight < depth && !backlog.empty()) {
+      const Fetch f = backlog.front();
+      backlog.pop_front();
+      const uint32_t slot = free_slots.back();
+      free_slots.pop_back();
+      slot_key[slot] = f.key;
+      slot_run[slot] = f.run;
+      const bool prepped =
+          sh.ring->PrepRead(f.run->fd, sh.ring_bufs[slot].get(),
+                            static_cast<unsigned>(cfg.block_bytes),
+                            f.blk * cfg.block_bytes, slot);
+      CAMAL_CHECK(prepped);
+      ++inflight;
+    }
+    const int submitted = sh.ring->Submit();
+    SysCheck(submitted >= 0, "io_uring_enter(submit)", sh.dir);
+  };
+
+  // Phase A: seed every op in submission order, then drain completions,
+  // re-advancing parked ops (which may queue further fetches) until all
+  // access sequences are resolved.
+  {
+    // Memtable hits resolve with zero block accesses, like DoGet.
+    for (size_t si = 0; si < window; ++si) {
+      GetState& st = states[si];
+      st.key = ops[op_idx[si]].key;
+      auto it = sh.memtable.find(st.key);
+      if (it != sh.memtable.end()) {
+        st.resolved = true;
+        st.found = !it->second.tombstone;
+      }
+    }
+    for (size_t si = 0; si < window; ++si) advance(si);
+    pump();
+    std::vector<fileio::IoRing::Completion> comps;
+    while (inflight > 0) {
+      comps.clear();
+      const int n = sh.ring->WaitCompletions(1, &comps);
+      SysCheck(n > 0, "io_uring_enter(wait)", sh.dir);
+      for (const fileio::IoRing::Completion& c : comps) {
+        const auto slot = static_cast<uint32_t>(c.user_data);
+        const FileRun* run = slot_run[slot];
+        SysCheck(c.result == static_cast<int32_t>(cfg.block_bytes),
+                 "ring read", run->path);
+        const uint64_t ckey = slot_key[slot];
+        contents.emplace(
+            ckey, std::make_shared<std::vector<char>>(
+                      sh.ring_bufs[slot].get(),
+                      sh.ring_bufs[slot].get() + cfg.block_bytes));
+        free_slots.push_back(slot);
+        --inflight;
+        auto wit = waiters.find(ckey);
+        if (wit != waiters.end()) {
+          const std::vector<size_t> parked = std::move(wit->second);
+          waiters.erase(wit);
+          for (size_t si : parked) advance(si);
+        }
+      }
+      pump();
+    }
+  }
+
+  // Phase B: replay cache decisions serially in submission order. This
+  // charges per-op reads and evolves the LRU exactly as the pread path
+  // would have.
+  for (size_t si = 0; si < window; ++si) {
+    GetState& st = states[si];
+    CAMAL_CHECK(st.resolved);
+    uint64_t ios = 0;
+    for (uint64_t ckey : st.accesses) {
+      if (sh.cache.Lookup(ckey) != nullptr) continue;  // a (promoted) hit
+      ++ios;
+      auto cit = contents.find(ckey);
+      CAMAL_CHECK(cit != contents.end());
+      sh.cache.Insert(ckey, cit->second);
+    }
+    sh.clock.block_reads += ios;
+    OpResult r;
+    r.found = st.found;
+    r.ios = ios;
+    results[op_idx[si]] = r;
+  }
+  const double dt = NowNs() - t0;
+  sh.clock.elapsed_ns += dt;
+  const double per_op = dt / static_cast<double>(window);
+  for (size_t si = 0; si < window; ++si) {
+    results[op_idx[si]].latency_ns = per_op;
+  }
 }
 
 /// Shard-local range scan: merges the memtable slice with run cursors
@@ -482,7 +755,7 @@ size_t DoScanShard(FileEngine::Shard& sh, const FileEngineConfig& cfg,
     uint64_t idx = 0;
     uint64_t end = 0;
     int64_t block = -1;
-    std::vector<char> block_data;
+    fileio::BlockPtr block_data;  // shared with the cache; eviction-safe
   };
   std::vector<Cursor> cursors;
 
@@ -512,11 +785,11 @@ size_t DoScanShard(FileEngine::Shard& sh, const FileEngineConfig& cfg,
             std::upper_bound(run.fence.begin(), run.fence.end(), start_key);
         const size_t blk =
             static_cast<size_t>(std::distance(run.fence.begin(), fit)) - 1;
-        FetchBlock(sh, cfg, run, blk, /*bypass_cache=*/false, &c.block_data);
+        c.block_data = FetchBlock(sh, cfg, run, blk);
         c.block = static_cast<int64_t>(blk);
         const uint64_t begin = blk * epb;
         const uint64_t count = std::min(epb, run.num_entries - begin);
-        const DiskEntry* records = BlockRecords(c.block_data);
+        const DiskEntry* records = BlockRecords(*c.block_data);
         uint64_t i = 0;
         while (i < count && records[i].key < start_key) ++i;
         // i == count means the next block's first key >= start_key (the
@@ -531,11 +804,10 @@ size_t DoScanShard(FileEngine::Shard& sh, const FileEngineConfig& cfg,
     if (c.run == nullptr) return c.mem[c.idx];
     const auto blk = static_cast<int64_t>(c.idx / epb);
     if (blk != c.block) {
-      FetchBlock(sh, cfg, *c.run, static_cast<size_t>(blk),
-                 /*bypass_cache=*/false, &c.block_data);
+      c.block_data = FetchBlock(sh, cfg, *c.run, static_cast<size_t>(blk));
       c.block = blk;
     }
-    return ToEntry(BlockRecords(c.block_data)[c.idx % epb]);
+    return ToEntry(BlockRecords(*c.block_data)[c.idx % epb]);
   };
   auto key_at = [&](Cursor& c) { return entry_at(c).key; };
 
@@ -609,6 +881,12 @@ FileEngine::FileEngine(size_t num_shards, const lsm::Options& total_options,
     ::unlink(probe.c_str());
   }
 
+  // Ring capability resolves once per engine: the build must carry the
+  // ring path and the kernel must accept io_uring_setup. Whether a given
+  // shard actually engages its ring also depends on mode and depth
+  // (SetupShardRing); everything else falls back to pread automatically.
+  use_uring_ = config_.io_mode != IoMode::kPread && fileio::IoRingSupported();
+
   const lsm::Options shard_options =
       ShardedEngine::ShardOptions(total_options, num_shards);
   shards_.reserve(num_shards);
@@ -620,6 +898,8 @@ FileEngine::FileEngine(size_t num_shards, const lsm::Options& total_options,
     SysCheck(!ec, "create_directories", sh->dir);
     sh->cache.Resize(shard_options.block_cache_bytes / config_.block_bytes);
     sh->scratch = AllocAligned(config_.block_bytes, config_.block_bytes);
+    sh->io_depth = 0;  // force SetupShardRing to resolve from scratch
+    SetupShardRing(*sh, config_, use_uring_);
     shards_.push_back(std::move(sh));
   }
 }
@@ -701,25 +981,8 @@ size_t FileEngine::Scan(uint64_t start_key, size_t max_entries,
     sh.clock.elapsed_ns += NowNs() - t0;
   });
 
-  // Gather: linear min-scan merge of the disjoint sorted slices.
-  std::vector<size_t> idx(shards_.size(), 0);
-  size_t added = 0;
-  while (added < max_entries) {
-    size_t best = shards_.size();
-    uint64_t best_key = std::numeric_limits<uint64_t>::max();
-    for (size_t s = 0; s < slices.size(); ++s) {
-      if (idx[s] >= slices[s].size()) continue;
-      const uint64_t k = slices[s][idx[s]].key;
-      if (best == shards_.size() || k < best_key) {
-        best = s;
-        best_key = k;
-      }
-    }
-    if (best == shards_.size()) break;
-    out->push_back(slices[best][idx[best]++]);
-    ++added;
-  }
-  return added;
+  // Gather: binary-heap k-way merge of the disjoint sorted slices.
+  return MergeDisjointSlices(slices, max_entries, out);
 }
 
 void FileEngine::ExecuteOps(const Op* ops, size_t count, OpResult* results) {
@@ -760,8 +1023,25 @@ void FileEngine::ExecuteOps(const Op* ops, size_t count, OpResult* results) {
     const size_t s = active[a];
     Shard& sh = *shards_[s];
     std::vector<lsm::Entry> scratch;
-    for (size_t i : lists[s]) {
+    const std::vector<size_t>& list = lists[s];
+    for (size_t li = 0; li < list.size();) {
+      const size_t i = list[li];
       const Op& op = ops[i];
+      // Ring path: a maximal run of consecutive gets becomes one
+      // overlapped submission window. Puts/deletes (may flush or
+      // compact) and scans (content-dependent cursors) stay synchronous
+      // barriers, executed exactly as on the pread path.
+      if (sh.ring != nullptr && op.kind == OpKind::kGet) {
+        size_t end = li + 1;
+        while (end < list.size() && ops[list[end]].kind == OpKind::kGet) {
+          ++end;
+        }
+        ExecuteGetWindow(sh, config_, ops, list.data() + li, end - li,
+                         results);
+        li = end;
+        continue;
+      }
+      ++li;
       const uint64_t ios_before = sh.clock.block_reads + sh.clock.block_writes;
       const double t0 = NowNs();
       if (op.kind == OpKind::kScan) {
@@ -841,7 +1121,23 @@ void FileEngine::ReconfigureShard(size_t s, const lsm::Options& options) {
   if (sh.memtable.size() >= sh.options.BufferEntries()) {
     FlushShard(sh, config_, direct_io_);
   }
+  // A changed io_queue_depth rebuilds the shard's ring and slot buffers
+  // (no-op otherwise). Counters stay identical at any depth, so the
+  // tuner may retune this knob mid-run like any other.
+  SetupShardRing(sh, config_, use_uring_);
   sh.clock.elapsed_ns += NowNs() - t0;
+}
+
+uint32_t FileEngine::ShardQueueDepth(size_t s) const {
+  const Shard& sh = shard(s);
+  return sh.ring != nullptr ? sh.io_depth : 1;
+}
+
+const char* FileEngine::io_backend() const {
+  for (const auto& sh : shards_) {
+    if (sh->ring != nullptr) return "uring";
+  }
+  return "pread";
 }
 
 lsm::Options FileEngine::ShardOptionsSnapshot(size_t s) const {

@@ -15,6 +15,20 @@ class ThreadPool;
 
 namespace camal::engine {
 
+/// How `FileEngine` issues block reads inside `ExecuteOps`.
+enum class IoMode {
+  /// Serial `pread` per block — the reference path.
+  kPread,
+  /// io_uring ring submission whenever the build + kernel support it
+  /// (falls back to pread otherwise), at any queue depth — lets tests
+  /// pin the ring path even at depth 1.
+  kUring,
+  /// Ring submission only when supported *and* the effective queue depth
+  /// exceeds 1; otherwise pread. The default: depth 1 preserves today's
+  /// behavior exactly.
+  kAuto,
+};
+
 /// Construction-time knobs of the real-IO backend.
 struct FileEngineConfig {
   /// Working directory the engine persists its run files under. Created
@@ -38,6 +52,14 @@ struct FileEngineConfig {
   /// granularity, and the O_DIRECT alignment. Must be a power of two and
   /// a multiple of 512.
   uint64_t block_bytes = 4096;
+  /// Read-submission backend selection (see `IoMode`). Whatever the mode,
+  /// logical results, per-op I/O counts, and all `EngineCounters` are
+  /// bit-identical — only wall-clock changes.
+  IoMode io_mode = IoMode::kAuto;
+  /// Engine-default number of block reads a shard keeps in flight on the
+  /// ring path (1 = no overlap). Per-shard `lsm::Options::io_queue_depth`
+  /// overrides this when nonzero — that is the knob the tuner drives.
+  uint32_t io_queue_depth = 1;
 };
 
 /// \brief Real-IO storage backend: an LSM engine whose sorted runs are
@@ -147,6 +169,17 @@ class FileEngine : public StorageEngine {
   /// constructor probes the working directory's filesystem once).
   bool direct_io() const { return direct_io_; }
 
+  /// The read-submission backend that actually engages inside
+  /// `ExecuteOps`: "uring" when the build carries the ring path, the
+  /// kernel accepted `io_uring_setup`, and the configured mode/depth gave
+  /// at least one shard a live ring; "pread" otherwise (the automatic
+  /// fallback).
+  const char* io_backend() const;
+
+  /// The queue depth a shard's ring currently runs at (after applying the
+  /// shard-options override); 1 on the pread path.
+  uint32_t ShardQueueDepth(size_t shard) const;
+
   /// The resolved working directory (useful when `workdir` was empty).
   const std::string& workdir() const { return workdir_; }
 
@@ -168,6 +201,7 @@ class FileEngine : public StorageEngine {
   std::string workdir_;
   bool created_workdir_ = false;
   bool direct_io_ = false;
+  bool use_uring_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   util::ThreadPool* pool_ = nullptr;
 };

@@ -1,0 +1,227 @@
+#include "engine/io_ring.h"
+
+// The real implementation talks to the kernel directly through the
+// io_uring UAPI: io_uring_setup(2) creates the ring fd, the SQ/CQ rings
+// and SQE array are mmap'd from it, and io_uring_enter(2) submits/waits.
+// Ring indices are published with acquire/release atomics exactly as
+// liburing does — the kernel is the other side of the queue.
+#if defined(CAMAL_WITH_URING) && defined(__linux__) && \
+    __has_include(<linux/io_uring.h>)
+#define CAMAL_URING_IMPL 1
+#else
+#define CAMAL_URING_IMPL 0
+#endif
+
+#if CAMAL_URING_IMPL
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace camal::engine::fileio {
+
+#if CAMAL_URING_IMPL
+
+namespace {
+
+int SysIoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+              nullptr, 0));
+}
+
+}  // namespace
+
+struct IoRing::Impl {
+  int ring_fd = -1;
+  unsigned sq_entries = 0;
+  unsigned cq_entries = 0;
+  unsigned to_submit = 0;
+  // One pending (prepped, unsubmitted) region of the SQ is tracked via
+  // the local tail; the kernel-visible tail is only bumped in Submit().
+  unsigned local_sq_tail = 0;
+
+  void* sq_ring = nullptr;
+  size_t sq_ring_bytes = 0;
+  void* cq_ring = nullptr;
+  size_t cq_ring_bytes = 0;
+  io_uring_sqe* sqes = nullptr;
+  size_t sqes_bytes = 0;
+  bool single_mmap = false;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+
+  ~Impl() {
+    if (sqes != nullptr) munmap(sqes, sqes_bytes);
+    if (sq_ring != nullptr) munmap(sq_ring, sq_ring_bytes);
+    if (!single_mmap && cq_ring != nullptr) munmap(cq_ring, cq_ring_bytes);
+    if (ring_fd >= 0) close(ring_fd);
+  }
+
+  bool Setup(unsigned entries) {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    ring_fd = SysIoUringSetup(entries == 0 ? 1 : entries, &p);
+    if (ring_fd < 0) return false;
+    sq_entries = p.sq_entries;
+    cq_entries = p.cq_entries;
+
+    sq_ring_bytes = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    cq_ring_bytes = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && cq_ring_bytes > sq_ring_bytes) {
+      sq_ring_bytes = cq_ring_bytes;
+    }
+    sq_ring = mmap(nullptr, sq_ring_bytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQ_RING);
+    if (sq_ring == MAP_FAILED) {
+      sq_ring = nullptr;
+      return false;
+    }
+    if (single_mmap) {
+      cq_ring = sq_ring;
+      cq_ring_bytes = sq_ring_bytes;
+    } else {
+      cq_ring = mmap(nullptr, cq_ring_bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_CQ_RING);
+      if (cq_ring == MAP_FAILED) {
+        cq_ring = nullptr;
+        return false;
+      }
+    }
+    sqes_bytes = p.sq_entries * sizeof(io_uring_sqe);
+    void* sq = mmap(nullptr, sqes_bytes, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQES);
+    if (sq == MAP_FAILED) return false;
+    sqes = static_cast<io_uring_sqe*>(sq);
+
+    char* sqr = static_cast<char*>(sq_ring);
+    sq_head = reinterpret_cast<unsigned*>(sqr + p.sq_off.head);
+    sq_tail = reinterpret_cast<unsigned*>(sqr + p.sq_off.tail);
+    sq_mask = reinterpret_cast<unsigned*>(sqr + p.sq_off.ring_mask);
+    sq_array = reinterpret_cast<unsigned*>(sqr + p.sq_off.array);
+    char* cqr = static_cast<char*>(cq_ring);
+    cq_head = reinterpret_cast<unsigned*>(cqr + p.cq_off.head);
+    cq_tail = reinterpret_cast<unsigned*>(cqr + p.cq_off.tail);
+    cq_mask = reinterpret_cast<unsigned*>(cqr + p.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(cqr + p.cq_off.cqes);
+    local_sq_tail = *sq_tail;
+    return true;
+  }
+};
+
+IoRing::IoRing(unsigned entries) : impl_(std::make_unique<Impl>()) {
+  if (!impl_->Setup(entries)) impl_.reset();
+}
+
+IoRing::~IoRing() = default;
+
+bool IoRing::ok() const { return impl_ != nullptr; }
+
+unsigned IoRing::capacity() const {
+  return impl_ != nullptr ? impl_->sq_entries : 0;
+}
+
+bool IoRing::PrepRead(int fd, void* buf, unsigned len, uint64_t offset,
+                      uint64_t user_data) {
+  if (impl_ == nullptr) return false;
+  Impl& r = *impl_;
+  const unsigned head = __atomic_load_n(r.sq_head, __ATOMIC_ACQUIRE);
+  if (r.local_sq_tail - head >= r.sq_entries) return false;  // SQ full.
+  const unsigned idx = r.local_sq_tail & *r.sq_mask;
+  io_uring_sqe* sqe = &r.sqes[idx];
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqe->opcode = IORING_OP_READ;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<uint64_t>(buf);
+  sqe->len = len;
+  sqe->off = offset;
+  sqe->user_data = user_data;
+  r.sq_array[idx] = idx;
+  ++r.local_sq_tail;
+  ++r.to_submit;
+  return true;
+}
+
+int IoRing::Submit() {
+  if (impl_ == nullptr) return -ENOSYS;
+  Impl& r = *impl_;
+  if (r.to_submit == 0) return 0;
+  __atomic_store_n(r.sq_tail, r.local_sq_tail, __ATOMIC_RELEASE);
+  const unsigned n = r.to_submit;
+  const int ret = SysIoUringEnter(r.ring_fd, n, 0, 0);
+  if (ret < 0) return -errno;
+  r.to_submit -= static_cast<unsigned>(ret);
+  return ret;
+}
+
+int IoRing::WaitCompletions(unsigned min_complete,
+                            std::vector<Completion>* out) {
+  if (impl_ == nullptr) return -ENOSYS;
+  Impl& r = *impl_;
+  unsigned head = __atomic_load_n(r.cq_head, __ATOMIC_ACQUIRE);
+  unsigned tail = __atomic_load_n(r.cq_tail, __ATOMIC_ACQUIRE);
+  if (tail - head < min_complete) {
+    const unsigned need = min_complete - (tail - head);
+    const int ret = SysIoUringEnter(r.ring_fd, 0, need,
+                                    IORING_ENTER_GETEVENTS);
+    if (ret < 0) return -errno;
+    tail = __atomic_load_n(r.cq_tail, __ATOMIC_ACQUIRE);
+  }
+  int reaped = 0;
+  while (head != tail) {
+    const io_uring_cqe& cqe = r.cqes[head & *r.cq_mask];
+    out->push_back(Completion{cqe.user_data, cqe.res});
+    ++head;
+    ++reaped;
+  }
+  __atomic_store_n(r.cq_head, head, __ATOMIC_RELEASE);
+  return reaped;
+}
+
+bool IoRingSupported() {
+  static const bool supported = [] {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    const int fd = SysIoUringSetup(1, &p);
+    if (fd < 0) return false;
+    close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+#else  // !CAMAL_URING_IMPL — inert stubs; callers take the pread path.
+
+struct IoRing::Impl {};
+
+IoRing::IoRing(unsigned) {}
+IoRing::~IoRing() = default;
+bool IoRing::ok() const { return false; }
+unsigned IoRing::capacity() const { return 0; }
+bool IoRing::PrepRead(int, void*, unsigned, uint64_t, uint64_t) {
+  return false;
+}
+int IoRing::Submit() { return -1; }
+int IoRing::WaitCompletions(unsigned, std::vector<Completion>*) { return -1; }
+bool IoRingSupported() { return false; }
+
+#endif  // CAMAL_URING_IMPL
+
+}  // namespace camal::engine::fileio

@@ -1,0 +1,76 @@
+#ifndef CAMAL_ENGINE_IO_RING_H_
+#define CAMAL_ENGINE_IO_RING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace camal::engine::fileio {
+
+/// Thin wrapper over the kernel's io_uring submission/completion queues,
+/// implemented directly on the raw syscall ABI (<linux/io_uring.h> +
+/// syscall(2)) so the engine carries no liburing dependency. Only the
+/// operation `FileEngine` needs is exposed: positional reads.
+///
+/// Build gating: when the tree is configured with -DCAMAL_WITH_URING=OFF,
+/// or the platform lacks the io_uring UAPI header, every constructor
+/// yields a ring with `ok() == false` and `IoRingSupported()` is false —
+/// callers fall back to their pread path with no #ifdefs of their own.
+///
+/// Thread safety: none. A ring belongs to exactly one shard worker at a
+/// time, matching the externally-synchronized shard contract.
+class IoRing {
+ public:
+  /// One reaped completion: `user_data` echoes the tag passed to
+  /// `PrepRead`; `result` is the read's byte count or a negated errno.
+  struct Completion {
+    uint64_t user_data = 0;
+    int32_t result = 0;
+  };
+
+  /// Sets up a ring with capacity for `entries` in-flight reads (rounded
+  /// up to a power of two by the kernel). On any failure — unsupported
+  /// build, old kernel, seccomp/rlimit denial — the ring is inert:
+  /// `ok()` returns false and all other calls are harmless no-ops.
+  explicit IoRing(unsigned entries);
+  ~IoRing();
+
+  IoRing(const IoRing&) = delete;
+  IoRing& operator=(const IoRing&) = delete;
+
+  /// True when the ring is live and can accept submissions.
+  bool ok() const;
+
+  /// Submission-queue capacity the kernel actually granted (0 when
+  /// `!ok()`). Up to this many reads may be in flight at once.
+  unsigned capacity() const;
+
+  /// Queues one positional read of `len` bytes at `offset` into `buf`
+  /// (caller keeps `buf` alive and untouched until the completion for
+  /// `user_data` is reaped). Returns false when the submission queue is
+  /// full or the ring is inert.
+  bool PrepRead(int fd, void* buf, unsigned len, uint64_t offset,
+                uint64_t user_data);
+
+  /// Hands all queued SQEs to the kernel. Returns the number submitted,
+  /// or a negated errno.
+  int Submit();
+
+  /// Blocks until at least `min_complete` completions are available
+  /// (counting ones already reaped into the CQ), appends every available
+  /// completion to `out`, and returns the number appended (negated errno
+  /// on failure). `min_complete == 0` drains without blocking.
+  int WaitCompletions(unsigned min_complete, std::vector<Completion>* out);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// True when this build has the io_uring path compiled in *and* the
+/// running kernel accepts io_uring_setup(2). Probed once, cached.
+bool IoRingSupported();
+
+}  // namespace camal::engine::fileio
+
+#endif  // CAMAL_ENGINE_IO_RING_H_

@@ -9,6 +9,40 @@
 
 namespace camal::engine {
 
+size_t MergeDisjointSlices(const std::vector<std::vector<lsm::Entry>>& slices,
+                           size_t max_entries, std::vector<lsm::Entry>* out) {
+  // Min-heap of (head key, slice index); each pop advances one slice
+  // cursor and may re-push that slice's next head.
+  struct Head {
+    uint64_t key;
+    size_t slice;
+  };
+  const auto greater = [](const Head& a, const Head& b) {
+    return a.key > b.key;
+  };
+  std::vector<Head> heap;
+  heap.reserve(slices.size());
+  std::vector<size_t> idx(slices.size(), 0);
+  for (size_t s = 0; s < slices.size(); ++s) {
+    if (!slices[s].empty()) heap.push_back(Head{slices[s][0].key, s});
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+
+  size_t added = 0;
+  while (added < max_entries && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    const size_t s = heap.back().slice;
+    heap.pop_back();
+    out->push_back(slices[s][idx[s]++]);
+    ++added;
+    if (idx[s] < slices[s].size()) {
+      heap.push_back(Head{slices[s][idx[s]].key, s});
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
+  return added;
+}
+
 ShardedEngine::ShardedEngine(size_t num_shards,
                              const lsm::Options& total_options,
                              const sim::DeviceConfig& device_config) {
@@ -80,26 +114,8 @@ size_t ShardedEngine::Scan(uint64_t start_key, size_t max_entries,
   std::vector<std::vector<lsm::Entry>> slices;
   ScatterScan(start_key, max_entries, &slices);
 
-  // Gather: k-way merge of the disjoint sorted slices. Shard count is
-  // small, so a linear min-scan beats a heap here.
-  std::vector<size_t> idx(shards_.size(), 0);
-  size_t added = 0;
-  while (added < max_entries) {
-    size_t best = shards_.size();
-    uint64_t best_key = std::numeric_limits<uint64_t>::max();
-    for (size_t s = 0; s < slices.size(); ++s) {
-      if (idx[s] >= slices[s].size()) continue;
-      const uint64_t k = slices[s][idx[s]].key;
-      if (best == shards_.size() || k < best_key) {
-        best = s;
-        best_key = k;
-      }
-    }
-    if (best == shards_.size()) break;
-    out->push_back(slices[best][idx[best]++]);
-    ++added;
-  }
-  return added;
+  // Gather: binary-heap k-way merge of the disjoint sorted slices.
+  return MergeDisjointSlices(slices, max_entries, out);
 }
 
 void ShardedEngine::ExecuteOps(const Op* ops, size_t count,

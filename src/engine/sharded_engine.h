@@ -15,6 +15,15 @@ class ThreadPool;
 
 namespace camal::engine {
 
+/// Gathers per-shard sorted slices into one globally sorted stream of up
+/// to `max_entries` entries via a binary-heap k-way merge: O(total·log k)
+/// instead of a linear min-scan's O(total·k). Keys across slices must be
+/// pairwise disjoint (hash partitioning guarantees it), so no tie-break
+/// is needed and the output order is unique. Both `ShardedEngine::Scan`
+/// and `FileEngine::Scan` gather through this.
+size_t MergeDisjointSlices(const std::vector<std::vector<lsm::Entry>>& slices,
+                           size_t max_entries, std::vector<lsm::Entry>* out);
+
 /// N independent `lsm::LsmTree` shards behind a deterministic hash
 /// partitioner — the multi-tenant serving engine. Each shard owns its own
 /// simulated device and its own options; the total memory budget of the

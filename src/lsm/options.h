@@ -37,6 +37,12 @@ struct Options {
   /// Extension knob: target SST file size in bytes; 0 keeps each sorted run
   /// in a single file.
   uint64_t file_bytes = 0;
+  /// Extension knob: block reads kept in flight per shard on the real-IO
+  /// backend's ring path (`FileEngine` with io_uring). 0 inherits the
+  /// engine-wide `FileEngineConfig::io_queue_depth`; the simulated backend
+  /// ignores it. Results and I/O counts are identical at any depth — only
+  /// wall-clock changes — which is what makes it safely tunable.
+  int io_queue_depth = 0;
 
   /// Entries that fit in the write buffer (Level 0 capacity).
   uint64_t BufferEntries() const {
@@ -84,6 +90,10 @@ struct Options {
     }
     if (runs_per_level < 0) {
       return util::Status::InvalidArgument("runs_per_level must be >= 0");
+    }
+    if (io_queue_depth < 0 || io_queue_depth > 1024) {
+      return util::Status::InvalidArgument(
+          "io_queue_depth must be in [0, 1024]");
     }
     return util::Status::Ok();
   }

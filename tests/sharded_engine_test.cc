@@ -357,6 +357,40 @@ TEST(ShardedEngineTest, UnevenArbiterBudgetsConserveTheTotalAndServe) {
   }
 }
 
+TEST(MergeDisjointSlicesTest, MatchesSortOnOverlappingKeyRanges) {
+  // Hash-partitioned shards hold disjoint *keys* but thoroughly
+  // interleaved key *ranges* — the case the k-way heap merge must get
+  // right. Reference: concatenate and sort.
+  util::Random rng(17);
+  std::vector<std::vector<lsm::Entry>> slices(5);
+  for (uint64_t key = 0; key < 4000; ++key) {
+    const size_t slice = rng.Uniform(5);
+    slices[slice].push_back({key, key * 3 + slice});  // ascending per slice
+  }
+  slices[3].clear();  // an empty slice must not confuse the heap
+
+  std::vector<lsm::Entry> expected;
+  for (const std::vector<lsm::Entry>& slice : slices) {
+    expected.insert(expected.end(), slice.begin(), slice.end());
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const lsm::Entry& a, const lsm::Entry& b) {
+              return a.key < b.key;
+            });
+
+  for (const size_t cap : {size_t{0}, size_t{1}, size_t{63}, size_t{4000},
+                           size_t{100000}}) {
+    std::vector<lsm::Entry> got;
+    const size_t n = MergeDisjointSlices(slices, cap, &got);
+    EXPECT_EQ(n, got.size());
+    ASSERT_EQ(got.size(), std::min(cap, expected.size())) << "cap=" << cap;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].key, expected[i].key) << "cap=" << cap << " i=" << i;
+      EXPECT_EQ(got[i].value, expected[i].value);
+    }
+  }
+}
+
 TEST(ShardedEngineTest, ShardsUseUncorrelatedJitterStreams) {
   // Same config in every shard, jittered I/O on: had the shards shared one
   // jitter seed, identical op sequences would cost identical time.

@@ -61,6 +61,59 @@ TEST(TuningConfigTest, ToOptionsMapsBitsToBytes) {
   EXPECT_TRUE(opts.Validate().ok());
 }
 
+TEST(TuningConfigTest, IoQueueDepthFlowsToOptionsAndModel) {
+  SystemSetup setup;
+  TuningConfig c = MonkeyDefaultConfig(setup);
+  // Untuned (0): options inherit the engine default, the model prices
+  // serial reads.
+  EXPECT_EQ(c.ToOptions(setup).io_queue_depth, 0);
+  EXPECT_DOUBLE_EQ(c.ToModelConfig().io_queue_depth, 1.0);
+  c.io_queue_depth = 16;
+  EXPECT_EQ(c.ToOptions(setup).io_queue_depth, 16);
+  EXPECT_DOUBLE_EQ(c.ToModelConfig().io_queue_depth, 16.0);
+  EXPECT_NE(c.ToString().find("qd=16"), std::string::npos);
+}
+
+TEST(SystemSetupTest, RejectsUringKnobsOnSimBackend) {
+  SystemSetup setup;
+  EXPECT_TRUE(setup.Validate().ok());
+  setup.io_mode = FileIoMode::kUring;
+  EXPECT_FALSE(setup.Validate().ok());
+  setup.io_mode = FileIoMode::kAuto;
+  setup.io_queue_depth = 8;
+  EXPECT_FALSE(setup.Validate().ok());
+  // The same knobs are legal on the real-IO backend...
+  setup.backend = EngineBackend::kFile;
+  setup.io_mode = FileIoMode::kUring;
+  EXPECT_TRUE(setup.Validate().ok());
+  // ...but the depth range is still enforced.
+  setup.io_queue_depth = 0;
+  EXPECT_FALSE(setup.Validate().ok());
+  setup.io_queue_depth = 2000;
+  EXPECT_FALSE(setup.Validate().ok());
+}
+
+TEST(TunerOptionsTest, TuneIoDepthStampsRecommendations) {
+  // Closed-form fallback path (untrained model): the recommendation must
+  // carry the cost model's depth when the knob is on, and stay at the
+  // untuned default when off.
+  SystemSetup setup = TinySetup();
+  TunerOptions off;
+  TunerOptions opts;
+  opts.tune_io_depth = true;
+  opts.max_io_queue_depth = 32;
+  const model::WorkloadSpec scans{0.0, 0.1, 0.8, 0.1};
+  CamalTuner tuned(setup, opts);
+  const TuningConfig rec = tuned.Recommend(scans);
+  const model::CostModel cm(setup.ToModelParams());
+  EXPECT_EQ(rec.io_queue_depth,
+            cm.RecommendedQueueDepth(scans.Normalized(), rec.ToModelConfig(),
+                                     opts.max_io_queue_depth));
+  EXPECT_GT(rec.io_queue_depth, 1);  // scan-heavy mixes fan out widely
+  CamalTuner untouched(setup, off);
+  EXPECT_EQ(untouched.Recommend(scans).io_queue_depth, 0);
+}
+
 TEST(TuningConfigTest, MonkeyDefaultSumsToBudget) {
   SystemSetup setup;
   const TuningConfig c = MonkeyDefaultConfig(setup);
