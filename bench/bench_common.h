@@ -120,10 +120,14 @@ inline int InitBenchThreads(int* argc, char** argv) {
                      "staying serial\n");
       }
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
-      shards = parse("--shards", argv[i] + 9, 1, 4096, shards);
+      // Ceiling mirrors tune::SystemSetup::kMaxShards (the lazy engines'
+      // million-tenant envelope); Validate re-checks whatever lands in a
+      // SystemSetup.
+      shards = parse("--shards", argv[i] + 9, 1, 16L * 1024 * 1024, shards);
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       if (i + 1 < *argc) {
-        shards = parse("--shards", argv[++i], 1, 4096, shards);
+        shards =
+            parse("--shards", argv[++i], 1, 16L * 1024 * 1024, shards);
       } else {
         std::fprintf(stderr, "[bench] --shards needs a value (>= 1)\n");
       }

@@ -27,7 +27,8 @@ struct PhaseRow {
 
 std::vector<PhaseRow> RunStatic(const tune::SystemSetup& setup,
                                 const tune::TuningConfig& config,
-                                size_t ops_per_phase) {
+                                size_t ops_per_phase,
+                                const std::vector<double>& phase_skews) {
   workload::KeySpace keys(setup.num_entries, setup.seed);
   engine::ShardedEngine eng(Shards(), config.ToOptions(setup),
                             setup.MakeDeviceConfig());
@@ -41,8 +42,9 @@ std::vector<PhaseRow> RunStatic(const tune::SystemSetup& setup,
     exec.generator.scan_len = setup.scan_len;
     exec.generator.insert_new_keys = true;  // the data grows, as in 5d
     // Tenant-skewed phases, matching the dynamic driver (bit-identical
-    // stream at skew 0).
-    exec.generator.shard_skew = setup.shard_skew;
+    // stream at skew 0). With --skew-drift the hotness deepens phase by
+    // phase.
+    exec.generator.shard_skew = phase_skews[i];
     exec.generator.num_shards = Shards();
     exec.seed = i + 1;
     auto result = workload::Execute(&eng, phases[i], exec, &keys);
@@ -53,7 +55,8 @@ std::vector<PhaseRow> RunStatic(const tune::SystemSetup& setup,
 
 std::vector<PhaseRow> RunDynamic(const tune::SystemSetup& setup,
                                  tune::ModelBackedTuner* tuner,
-                                 size_t ops_per_phase) {
+                                 size_t ops_per_phase,
+                                 const std::vector<double>& phase_skews) {
   workload::KeySpace keys(setup.num_entries, setup.seed);
   engine::ShardedEngine eng(
       Shards(), tune::MonkeyDefaultConfig(setup).ToOptions(setup),
@@ -73,6 +76,10 @@ std::vector<PhaseRow> RunDynamic(const tune::SystemSetup& setup,
   std::vector<PhaseRow> rows;
   const auto phases = workload::ShiftingWorkloads();
   for (size_t i = 0; i < phases.size(); ++i) {
+    // Per-phase tenant-hotness drift: the generator behind RunPhase picks
+    // this up for the whole phase. At zero drift every call re-writes the
+    // same value — bit-identical to the fixed-skew run.
+    dynamic.set_phase_shard_skew(phase_skews[i]);
     const auto result =
         dynamic.RunPhase(&eng, &keys, phases[i], ops_per_phase, i + 1);
     rows.push_back(PhaseRow{result.MeanLatencyNs() / 1e3, result.IosPerOp()});
@@ -80,23 +87,38 @@ std::vector<PhaseRow> RunDynamic(const tune::SystemSetup& setup,
   return rows;
 }
 
-void Run(double skew) {
+void Run(double skew, double skew_drift) {
   tune::SystemSetup setup = BenchSetup();
   // Hot/cold tenant traffic across the engine's shards (inert at 0, and
   // meaningless with 1 shard — Validate rejects that combination).
   setup.shard_skew = skew;
   tune::ValidateOrDie(setup);
+  if (skew_drift > 0.0 && Shards() < 2) {
+    std::fprintf(stderr, "--skew-drift needs --shards >= 2: a single shard "
+                         "has no hot/cold tenants to drift between\n");
+    std::exit(1);
+  }
   const size_t ops_per_phase = 6000;
   const auto train = workload::TrainingWorkloads();
+
+  // Phase i serves at skew + i*drift: under drift the hot tenants get
+  // hotter as the run ages, the dynamic stress the arbiter and per-shard
+  // retunes are built for. Drift 0 reproduces the fixed-skew phases
+  // bit-identically.
+  const size_t num_phases = workload::ShiftingWorkloads().size();
+  std::vector<double> phase_skews(num_phases);
+  for (size_t i = 0; i < num_phases; ++i) {
+    phase_skews[i] = skew + skew_drift * static_cast<double>(i);
+  }
 
   // Static baselines, configured for the average Table-2 mix.
   model::WorkloadSpec average{0.25, 0.25, 0.25, 0.25};
   tune::ClassicTuner classic(setup, tune::TunerOptions{});
   tune::MonkeyTuner monkey(setup);
   const auto classic_rows =
-      RunStatic(setup, classic.Recommend(average), ops_per_phase);
+      RunStatic(setup, classic.Recommend(average), ops_per_phase, phase_skews);
   const auto monkey_rows =
-      RunStatic(setup, monkey.Recommend(average), ops_per_phase);
+      RunStatic(setup, monkey.Recommend(average), ops_per_phase, phase_skews);
 
   // CAMAL, trained once at 1/10 scale, then driving the dynamic tree.
   auto train_camal = [&](tune::ModelKind model) {
@@ -109,12 +131,21 @@ void Run(double skew) {
   };
   auto poly = train_camal(tune::ModelKind::kPoly);
   auto trees = train_camal(tune::ModelKind::kTrees);
-  const auto poly_rows = RunDynamic(setup, poly.get(), ops_per_phase);
-  const auto trees_rows = RunDynamic(setup, trees.get(), ops_per_phase);
+  const auto poly_rows =
+      RunDynamic(setup, poly.get(), ops_per_phase, phase_skews);
+  const auto trees_rows =
+      RunDynamic(setup, trees.get(), ops_per_phase, phase_skews);
 
   std::printf("Figure 5d: dynamic test workloads (Table 2), %zu ops per "
-              "phase, growing data\n\n",
+              "phase, growing data\n",
               ops_per_phase);
+  if (skew_drift > 0.0) {
+    std::printf("tenant hotness drift: shard_skew %.2f -> %.2f across %zu "
+                "phases (+%.3f/phase)\n",
+                phase_skews.front(), phase_skews.back(), num_phases,
+                skew_drift);
+  }
+  std::printf("\n");
   std::printf("System latency per op (us):\n");
   std::printf("%4s %10s %10s %12s %12s\n", "ph", "Classic", "Monkey",
               "CAMAL(Poly)", "CAMAL(Trees)");
@@ -151,21 +182,28 @@ void Run(double skew) {
 int main(int argc, char** argv) {
   camal::bench::InitBenchThreads(&argc, argv);
   double skew = 0.0;
+  double skew_drift = 0.0;
+  const auto parse_nonneg = [](const char* text, const char* flag,
+                               double* out) {
+    char* end = nullptr;
+    errno = 0;
+    *out = std::strtod(text, &end);
+    if (end == text || *end != '\0' || *out < 0.0 || errno == ERANGE) {
+      std::fprintf(stderr, "invalid %s value '%s'\n", flag, text);
+      return false;
+    }
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--skew=", 7) == 0) {
-      char* end = nullptr;
-      errno = 0;
-      skew = std::strtod(argv[i] + 7, &end);
-      if (end == argv[i] + 7 || *end != '\0' || skew < 0.0 ||
-          errno == ERANGE) {
-        std::fprintf(stderr, "invalid --skew value '%s'\n", argv[i] + 7);
-        return 1;
-      }
+      if (!parse_nonneg(argv[i] + 7, "--skew", &skew)) return 1;
+    } else if (std::strncmp(argv[i], "--skew-drift=", 13) == 0) {
+      if (!parse_nonneg(argv[i] + 13, "--skew-drift", &skew_drift)) return 1;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;
     }
   }
-  camal::bench::Run(skew);
+  camal::bench::Run(skew, skew_drift);
   return 0;
 }

@@ -77,6 +77,16 @@ class DynamicTuner {
   void set_arbiter(MemoryArbiter* arbiter) { arbiter_ = arbiter; }
   MemoryArbiter* arbiter() const { return arbiter_; }
 
+  /// Sets the tenant-hotness skew (`SystemSetup::shard_skew`, Zipf over
+  /// shard index) the *following* phases generate traffic with — the
+  /// dynamic-drift knob: step it between phases to model tenant hotness
+  /// drifting over a run. Writing the value already in effect changes
+  /// nothing (the phase stream stays bit-identical), so a zero-drift
+  /// driver that calls this every phase reproduces the fixed-skew run
+  /// exactly.
+  void set_phase_shard_skew(double skew) { base_setup_.shard_skew = skew; }
+  double phase_shard_skew() const { return base_setup_.shard_skew; }
+
  private:
   /// Lazily sizes the per-shard detector array to the engine's shard
   /// count (the engine must not change between phases).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 
 #include "engine/sharded_engine.h"
 #include "model/arbitration.h"
@@ -25,8 +26,22 @@ MemoryArbiter::MemoryArbiter(const SystemSetup& setup,
   // the shares, not the nominal system budget).
   const engine::ShardBudget even = engine::ShardBudget::FromOptions(
       engine::ShardedEngine::ShardOptions(total_options, num_shards));
-  budgets_.assign(num_shards, even.TotalBits());
-  total_bits_ = even.TotalBits() * num_shards;
+  num_shards_ = num_shards;
+  even_share_bits_ = even.TotalBits();
+  total_bits_ = even_share_bits_ * num_shards;
+  // Every shard starts implicit: its even share pooled in its group. The
+  // pool of g members holds exactly g * share, so any withdrawal order
+  // hands each member exactly the even share until lifecycle events
+  // perturb the pool — the lazy hierarchy is invisible at steady start.
+  group_size_ = std::max<size_t>(1, options_.group_size);
+  const size_t num_groups = (num_shards + group_size_ - 1) / group_size_;
+  groups_.resize(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    const size_t members =
+        std::min(group_size_, num_shards - g * group_size_);
+    groups_[g].implicit_members = members;
+    groups_[g].pool_bits = even_share_bits_ * members;
+  }
   const double share = static_cast<double>(even.TotalBits());
   floor_bits_ = static_cast<uint64_t>(options_.floor_frac * share);
   quantum_bits_ =
@@ -51,35 +66,102 @@ MemoryArbiter::MemoryArbiter(const SystemSetup& setup,
   share_params.total_memory_bits = share;
   active_ = 8.0 * static_cast<double>(even.buffer_bytes) >=
             model::MinBufferBits(share_params);
-  counts_.assign(num_shards, {0, 0, 0, 0});
+}
+
+uint64_t MemoryArbiter::TrackShard(size_t s) {
+  Group& g = groups_[s / group_size_];
+  CAMAL_CHECK(g.implicit_members > 0);
+  uint64_t take = g.pool_bits / g.implicit_members;
+  g.pool_bits -= take;
+  g.implicit_members -= 1;
+  if (g.implicit_members == 0) {
+    // The last member takes the division remainder with it: pools drain
+    // to exactly zero and not one bit strands outside the ledger.
+    take += g.pool_bits;
+    g.pool_bits = 0;
+  }
+  explicit_.emplace(s, take);
+  return take;
+}
+
+void MemoryArbiter::UntrackShard(size_t s) {
+  auto it = explicit_.find(s);
+  CAMAL_CHECK(it != explicit_.end());
+  Group& g = groups_[s / group_size_];
+  g.pool_bits += it->second;
+  g.implicit_members += 1;
+  explicit_.erase(it);
+}
+
+uint64_t MemoryArbiter::ImplicitBudget(size_t s) const {
+  const Group& g = groups_[s / group_size_];
+  CAMAL_CHECK(g.implicit_members > 0);
+  return g.pool_bits / g.implicit_members;
+}
+
+size_t MemoryArbiter::ImplicitDonorCandidate() const {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const Group& grp = groups_[g];
+    if (grp.implicit_members == 0) continue;
+    if (grp.pool_bits / grp.implicit_members < floor_bits_ + quantum_bits_) {
+      continue;
+    }
+    const size_t begin = g * group_size_;
+    const size_t end = std::min(begin + group_size_, num_shards_);
+    for (size_t s = begin; s < end; ++s) {
+      if (explicit_.find(s) == explicit_.end()) return s;
+    }
+  }
+  return std::numeric_limits<size_t>::max();
+}
+
+uint64_t MemoryArbiter::BudgetBits(size_t shard) const {
+  CAMAL_CHECK(shard < num_shards_);
+  const auto it = explicit_.find(shard);
+  return it != explicit_.end() ? it->second : ImplicitBudget(shard);
+}
+
+std::vector<uint64_t> MemoryArbiter::budget_bits() const {
+  std::vector<uint64_t> out(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) out[s] = BudgetBits(s);
+  return out;
 }
 
 void MemoryArbiter::Record(size_t shard, workload::OpType type) {
-  CAMAL_CHECK(shard < counts_.size());
+  CAMAL_CHECK(shard < num_shards_);
+  auto& c = counts_[shard];
   switch (type) {
     case workload::OpType::kZeroResultLookup:
-      ++counts_[shard][0];
+      ++c[0];
       break;
     case workload::OpType::kNonZeroResultLookup:
-      ++counts_[shard][1];
+      ++c[1];
       break;
     case workload::OpType::kRangeLookup:
-      ++counts_[shard][2];
+      ++c[2];
       break;
     case workload::OpType::kWrite:
     case workload::OpType::kDelete:
-      ++counts_[shard][3];
+      ++c[3];
       break;
   }
 }
 
 void MemoryArbiter::OnBatch(engine::StorageEngine* engine,
                             const workload::Operation* ops, size_t count) {
-  const size_t num_shards = counts_.size();
+  // A scatter-gather scan probes every *data-holding* shard — the
+  // resident set, which on an eager engine is every shard (the historical
+  // accounting, bit-identical) and on a lazy one exactly the shards the
+  // scan actually visited. Resolved once per batch, not per scan.
+  std::vector<size_t> resident;
+  bool resident_ready = false;
   for (size_t i = 0; i < count; ++i) {
     if (ops[i].type == workload::OpType::kRangeLookup) {
-      // A scatter-gather scan probes every shard; each pays for it.
-      for (size_t s = 0; s < num_shards; ++s) Record(s, ops[i].type);
+      if (!resident_ready) {
+        engine->AppendResidentShards(&resident);
+        resident_ready = true;
+      }
+      for (size_t s : resident) Record(s, ops[i].type);
     } else {
       Record(engine->ShardIndex(ops[i].key), ops[i].type);
     }
@@ -101,7 +183,8 @@ void MemoryArbiter::OnBatchEvent(engine::StorageEngine* engine,
   // miss its zero-result one — which is exactly what the generator's
   // labels encode on a steady-state key space.
   CAMAL_CHECK(event.engine_ops != nullptr && event.results != nullptr);
-  const size_t num_shards = counts_.size();
+  std::vector<size_t> resident;
+  bool resident_ready = false;
   for (size_t i = 0; i < event.count; ++i) {
     const engine::Op& op = event.engine_ops[i];
     switch (op.kind) {
@@ -112,10 +195,12 @@ void MemoryArbiter::OnBatchEvent(engine::StorageEngine* engine,
                    : workload::OpType::kZeroResultLookup);
         break;
       case engine::OpKind::kScan:
-        // A scatter-gather scan probes every shard; each pays for it.
-        for (size_t s = 0; s < num_shards; ++s) {
-          Record(s, workload::OpType::kRangeLookup);
+        // A scan probes the resident set; each probed shard pays for it.
+        if (!resident_ready) {
+          engine->AppendResidentShards(&resident);
+          resident_ready = true;
         }
+        for (size_t s : resident) Record(s, workload::OpType::kRangeLookup);
         break;
       case engine::OpKind::kPut:
         Record(engine->ShardIndex(op.key), workload::OpType::kWrite);
@@ -130,21 +215,24 @@ void MemoryArbiter::OnBatchEvent(engine::StorageEngine* engine,
 }
 
 model::SystemParams MemoryArbiter::ShardParams(
-    const engine::StorageEngine& engine, size_t s) const {
+    const engine::StorageEngine& engine, size_t s,
+    uint64_t budget_bits) const {
   model::SystemParams p = setup_.ToModelParams();
   p.num_entries =
       static_cast<double>(std::max<uint64_t>(1, engine.ShardEntries(s)));
-  p.total_memory_bits = static_cast<double>(budgets_[s]);
+  p.total_memory_bits = static_cast<double>(budget_bits);
   // A scatter-gather scan drains only ~1/N of the merged selectivity from
   // each shard; pricing the full selectivity on every shard would make
   // scan-probed cold shards look far more memory-hungry than they are.
-  p.selectivity = std::max(
-      1.0, p.selectivity / static_cast<double>(counts_.size()));
+  p.selectivity =
+      std::max(1.0, p.selectivity / static_cast<double>(num_shards_));
   return p;
 }
 
 model::WorkloadSpec MemoryArbiter::WindowSpec(size_t s) const {
-  const auto& c = counts_[s];
+  const auto it = counts_.find(s);
+  if (it == counts_.end()) return model::WorkloadSpec{0.25, 0.25, 0.25, 0.25};
+  const auto& c = it->second;
   const uint64_t total = c[0] + c[1] + c[2] + c[3];
   if (total == 0) return model::WorkloadSpec{0.25, 0.25, 0.25, 0.25};
   const double n = static_cast<double>(total);
@@ -158,9 +246,40 @@ model::WorkloadSpec MemoryArbiter::WindowSpec(size_t s) const {
 
 size_t MemoryArbiter::Rebalance(engine::StorageEngine* engine) {
   ++rounds_;
-  const size_t num_shards = counts_.size();
   size_t reconfigured = 0;
-  if (active_ && num_shards > 1) {
+  std::set<size_t> changed;
+  if (active_ && num_shards_ > 1) {
+    // Lifecycle handoffs first, both exact to the bit. Demote: an
+    // explicit shard that hibernated and stayed silent this window
+    // deposits its whole budget back into its group pool — its memory
+    // amortizes over the group until it wakes. Promote: every shard that
+    // saw window traffic withdraws its amortized slice from the pool and
+    // becomes a rebalance participant; if the slice differs from what the
+    // engine currently holds (the pool drifted while the shard was
+    // implicit), the shard is reconfigured to the ledger value below.
+    std::vector<size_t> demote;
+    for (const auto& [s, bits] : explicit_) {
+      if (counts_.find(s) != counts_.end()) continue;
+      if (engine->ShardLifecycle(s) == engine::ShardState::kHibernated) {
+        demote.push_back(s);
+      }
+    }
+    for (size_t s : demote) UntrackShard(s);
+    for (const auto& [s, c] : counts_) {
+      if (explicit_.find(s) != explicit_.end()) continue;
+      const uint64_t take = TrackShard(s);
+      const engine::ShardBudget held =
+          engine::ShardBudget::FromOptions(engine->ShardOptionsSnapshot(s));
+      if (take != held.TotalBits()) changed.insert(s);
+    }
+
+    // Rebalance participants: the explicit ledger, ascending — on a fully
+    // explicit system the exact shard order (and therefore every
+    // tie-break) of the flat dense arbiter.
+    std::vector<size_t> part;
+    part.reserve(explicit_.size());
+    for (const auto& [s, bits] : explicit_) part.push_back(s);
+
     // Load share of each shard: its window operation volume, with scans
     // counted on every shard they probe (the per-probe work is priced at
     // the per-shard selectivity slice by ShardParams). Op volume — not
@@ -170,27 +289,30 @@ size_t MemoryArbiter::Rebalance(engine::StorageEngine* engine) {
     // read as load, feeding budget moves back into themselves. The
     // measured clocks (`ShardCostSnapshot`) stay the *validation* signal:
     // they are what benches report per shard next to the budgets.
-    std::vector<double> load(num_shards, 0.0);
+    const auto window_load = [this](size_t s) {
+      const auto it = counts_.find(s);
+      if (it == counts_.end()) return 0.0;
+      const auto& c = it->second;
+      return static_cast<double>(c[0] + c[1] + c[2] + c[3]);
+    };
     double load_total = 0.0;
-    for (size_t s = 0; s < num_shards; ++s) {
-      const auto& c = counts_[s];
-      load[s] = static_cast<double>(c[0] + c[1] + c[2] + c[3]);
-      load_total += load[s];
+    for (const auto& [s, c] : counts_) {
+      load_total += static_cast<double>(c[0] + c[1] + c[2] + c[3]);
     }
 
-    // Load-weighted marginal value of one quantum for each shard,
+    // Load-weighted marginal value of one quantum per participant,
     // refreshed only for shards whose budget a move changed.
     const double delta = static_cast<double>(quantum_bits_);
-    std::vector<double> rate(num_shards, 0.0);
-    std::vector<model::MemoryMarginal> marginal(num_shards);
-    const auto refresh = [&](size_t s) {
-      const auto& c = counts_[s];
-      const uint64_t ops = c[0] + c[1] + c[2] + c[3];
-      rate[s] = load_total <= 0.0 ? 0.0 : load[s] / load_total;
-      if (ops == 0) {
+    std::vector<double> rate(part.size(), 0.0);
+    std::vector<model::MemoryMarginal> marginal(part.size());
+    const auto refresh = [&](size_t i) {
+      const size_t s = part[i];
+      const double load = window_load(s);
+      rate[i] = load_total <= 0.0 ? 0.0 : load / load_total;
+      if (load == 0.0) {
         // A silent tenant neither gains nor loses by the model; only its
         // floor protects it from being fully drained.
-        marginal[s] = model::MemoryMarginal{};
+        marginal[i] = model::MemoryMarginal{};
         return;
       }
       const lsm::Options live = engine->ShardOptionsSnapshot(s);
@@ -204,52 +326,69 @@ size_t MemoryArbiter::Rebalance(engine::StorageEngine* engine) {
       shape.policy = live.policy;
       shape.size_ratio = live.size_ratio;
       shape.runs_per_level = live.runs_per_level;
-      marginal[s] = model::PriceMemoryDelta(WindowSpec(s), ShardParams(*engine, s),
-                                            shape, mc_frac, delta);
+      marginal[i] =
+          model::PriceMemoryDelta(WindowSpec(s), ShardParams(*engine, s, explicit_[s]),
+                                  shape, mc_frac, delta);
     };
-    for (size_t s = 0; s < num_shards; ++s) refresh(s);
+    for (size_t i = 0; i < part.size(); ++i) refresh(i);
 
-    std::vector<bool> changed(num_shards, false);
+    constexpr size_t kNone = std::numeric_limits<size_t>::max();
     for (int move = 0; move < options_.max_moves_per_round; ++move) {
-      size_t receiver = num_shards, donor = num_shards;
+      size_t receiver = kNone, donor = kNone;
       double best_gain = 0.0;
       double best_loss = std::numeric_limits<double>::infinity();
-      for (size_t s = 0; s < num_shards; ++s) {
-        const double gain = rate[s] * marginal[s].gain;
+      for (size_t i = 0; i < part.size(); ++i) {
+        const double gain = rate[i] * marginal[i].gain;
         if (gain > best_gain) {
           best_gain = gain;
-          receiver = s;
+          receiver = i;
         }
       }
-      if (receiver == num_shards) break;
-      for (size_t s = 0; s < num_shards; ++s) {
-        if (s == receiver) continue;
-        if (budgets_[s] < floor_bits_ + quantum_bits_) continue;
-        const double loss = rate[s] * marginal[s].loss;
+      if (receiver == kNone) break;
+      for (size_t i = 0; i < part.size(); ++i) {
+        if (i == receiver) continue;
+        if (explicit_[part[i]] < floor_bits_ + quantum_bits_) continue;
+        const double loss = rate[i] * marginal[i].loss;
         if (loss < best_loss) {
           best_loss = loss;
-          donor = s;
+          donor = i;
         }
       }
-      if (donor == num_shards) break;
+      // The pool fallback: when no explicit shard donates at zero loss, a
+      // silent implicit shard can — the flat arbiter drained exactly such
+      // shards (silent, zero modeled loss). Promote the lowest fundable
+      // one; it enters the ledger at its amortized slice and donates from
+      // there. Explicit zero-loss donors still win (they come first).
+      if (best_loss > 0.0) {
+        const size_t s = ImplicitDonorCandidate();
+        if (s != kNone) {
+          TrackShard(s);
+          part.push_back(s);
+          rate.push_back(0.0);
+          marginal.push_back(model::MemoryMarginal{});
+          donor = part.size() - 1;
+          best_loss = 0.0;
+        }
+      }
+      if (donor == kNone) break;
       if (best_gain <= options_.hysteresis * best_loss) break;
-      budgets_[receiver] += quantum_bits_;
-      budgets_[donor] -= quantum_bits_;
-      changed[receiver] = changed[donor] = true;
+      explicit_[part[receiver]] += quantum_bits_;
+      explicit_[part[donor]] -= quantum_bits_;
+      changed.insert(part[receiver]);
+      changed.insert(part[donor]);
       ++moves_;
       refresh(receiver);
       refresh(donor);
     }
 
-    for (size_t s = 0; s < num_shards; ++s) {
-      if (!changed[s]) continue;
+    for (size_t s : changed) {
       ApplyBudget(engine, s);
       ++reconfigured;
     }
   }
 
   reconfigurations_ += reconfigured;
-  counts_.assign(num_shards, {0, 0, 0, 0});
+  counts_.clear();
   window_ops_ = 0;
   return reconfigured;
 }
@@ -257,7 +396,7 @@ size_t MemoryArbiter::Rebalance(engine::StorageEngine* engine) {
 void MemoryArbiter::ApplyBudget(engine::StorageEngine* engine, size_t s) {
   lsm::Options opts = engine->ShardOptionsSnapshot(s);
   const engine::ShardBudget held = engine::ShardBudget::FromOptions(opts);
-  const double budget = static_cast<double>(budgets_[s]);
+  const double budget = static_cast<double>(BudgetBits(s));
 
   // Buffer, Bloom, and cache scale proportionally into the new budget:
   // the shard keeps the *shape* of its internal split (whether it came

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "camal/sample.h"
@@ -32,6 +33,12 @@ struct ArbiterOptions {
   /// thrashing under noisy windows; the concavity of cost-vs-memory
   /// already penalizes moves, so this stays close to 1).
   double hysteresis = 1.1;
+  /// Shards per budget group of the two-level hierarchy. Shards that have
+  /// never been rebalance participants hold no per-shard ledger entry:
+  /// their budget lives amortized in their group's pool (exactly the even
+  /// share until lifecycle events perturb it), so arbitration state and
+  /// per-round work scale with the *active* tenant set, not the total.
+  size_t group_size = 64;
 };
 
 /// \brief Per-tenant memory arbitration: observes per-shard load
@@ -51,6 +58,18 @@ struct ArbiterOptions {
 /// composing with per-shard retunes, which then respect arbitrated
 /// budgets). Not attached — the even split — is the exact pre-arbiter
 /// behavior.
+///
+/// **Scale.** Budgets live in a two-level hierarchy (group → shard):
+/// shards that have never participated in a rebalance are *implicit* —
+/// their budget is amortized in their group's pool and they cost no
+/// per-shard state or per-round work. A shard is promoted to an explicit
+/// per-shard ledger entry the first time it sees window traffic
+/// (withdrawing its exact amortized slice from the pool), and demoted
+/// back (depositing its whole budget) when it hibernates idle. Every
+/// promotion/demotion conserves the total bit-exactly, and a round's work
+/// is O(explicit + active), never O(total shards). While every shard is
+/// explicit — the regime any fully-loaded engine reaches — decisions are
+/// bit-identical to a flat dense arbiter.
 ///
 /// **Thread-safety.** Externally synchronized, like the engine it
 /// arbitrates: `OnBatch` fires on the execution thread between batches,
@@ -99,12 +118,12 @@ class MemoryArbiter : public workload::BatchHook {
   void OnBatchEvent(engine::StorageEngine* engine,
                     const workload::BatchEvent& event) override;
 
-  /// Current arbitrated budget of one shard, in bits.
-  uint64_t BudgetBits(size_t shard) const {
-    CAMAL_CHECK(shard < budgets_.size());
-    return budgets_[shard];
-  }
-  const std::vector<uint64_t>& budget_bits() const { return budgets_; }
+  /// Current arbitrated budget of one shard, in bits. For a shard with no
+  /// per-shard ledger entry this is its amortized slice of its group pool
+  /// (exactly the even share until lifecycle events perturb the pool).
+  uint64_t BudgetBits(size_t shard) const;
+  /// Materialized dense budget view (O(num_shards) — observability/tests).
+  std::vector<uint64_t> budget_bits() const;
 
   /// The conserved system total and the per-shard floor, in bits.
   uint64_t total_bits() const { return total_bits_; }
@@ -123,10 +142,17 @@ class MemoryArbiter : public workload::BatchHook {
   const ArbiterOptions& options() const { return options_; }
 
  private:
+  /// One group of the two-level budget hierarchy: the pooled bits of all
+  /// its member shards that hold no per-shard ledger entry.
+  struct Group {
+    uint64_t pool_bits = 0;
+    size_t implicit_members = 0;
+  };
+
   /// Model view of shard `s` at its current budget: local entry count from
   /// the engine, window mix, shared entry/block/selectivity basis.
   model::SystemParams ShardParams(const engine::StorageEngine& engine,
-                                  size_t s) const;
+                                  size_t s, uint64_t budget_bits) const;
 
   /// Window mix of shard `s` (uniform when the shard saw no traffic).
   model::WorkloadSpec WindowSpec(size_t s) const;
@@ -136,16 +162,42 @@ class MemoryArbiter : public workload::BatchHook {
   /// reconfigures the shard (shape knobs untouched).
   void ApplyBudget(engine::StorageEngine* engine, size_t s);
 
+  /// Promotes shard `s` from its group pool to a per-shard ledger entry,
+  /// withdrawing its exact amortized slice (the last member also takes the
+  /// pool's division remainder, so not one bit strands). Returns the
+  /// withdrawn budget.
+  uint64_t TrackShard(size_t s);
+
+  /// Demotes explicit shard `s` back to its group pool, depositing its
+  /// entire ledger budget (the hibernation handoff — conservation exact).
+  void UntrackShard(size_t s);
+
+  /// Budget of a shard with no ledger entry: its group pool's floor
+  /// average.
+  uint64_t ImplicitBudget(size_t s) const;
+
+  /// Lowest implicit member of the lowest group whose amortized slice can
+  /// fund a donation (≥ floor + quantum); SIZE_MAX when no group can.
+  size_t ImplicitDonorCandidate() const;
+
   SystemSetup setup_;
   ArbiterOptions options_;
   /// Shape the pricing holds fixed (T, policy, K of the system config).
   model::ModelConfig shape_;
-  std::vector<uint64_t> budgets_;
+  size_t num_shards_ = 0;
+  size_t group_size_ = 1;
+  uint64_t even_share_bits_ = 0;
+  /// sum(pools) + sum(explicit ledger) == total_bits_, exactly, always.
+  std::vector<Group> groups_;
+  /// Per-shard ledger of every past/present rebalance participant,
+  /// ascending (donor iteration order matches the dense arbiter's).
+  std::map<size_t, uint64_t> explicit_;
   uint64_t total_bits_ = 0;
   uint64_t floor_bits_ = 0;
   uint64_t quantum_bits_ = 0;
-  /// Window operation counts per shard: v, r, q, w(+deletes).
-  std::vector<std::array<uint64_t, 4>> counts_;
+  /// Window operation counts, only for shards that saw ops: v, r, q,
+  /// w(+deletes). Ascending iteration keeps decisions deterministic.
+  std::map<size_t, std::array<uint64_t, 4>> counts_;
   bool active_ = true;
   size_t window_ops_ = 0;
   size_t rounds_ = 0;

@@ -73,6 +73,12 @@ util::Status SystemSetup::Validate() const {
   if (num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
+  if (num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "num_shards is past the supported ceiling (16M): shard counts that "
+        "large exceed the million-tenant envelope the lazy engines are "
+        "sized for and almost certainly indicate a units mistake");
+  }
   if (engine_threads < 0) {
     return Status::InvalidArgument(
         "engine_threads must be >= 0 (0 = hardware concurrency)");

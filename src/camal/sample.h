@@ -65,11 +65,15 @@ struct SystemSetup {
   size_t eval_ops = 8000;
   /// Master seed.
   uint64_t seed = 42;
+  /// Hard ceiling `Validate` enforces on `num_shards` (16M): past the
+  /// million-tenant envelope the lazy engines are sized for, a larger
+  /// count is almost certainly a units mistake, not a real fleet.
+  static constexpr size_t kMaxShards = size_t{16} * 1024 * 1024;
   /// Number of independent LSM-tree shards the serving engine partitions
-  /// the key space across (1 = a single tree, today's direct path). The
-  /// Evaluator measures samples on an `engine::ShardedEngine` with this
-  /// many shards; the tuning space (memory, T, policy) still describes the
-  /// *total* system budget.
+  /// the key space across (1 = a single tree, today's direct path; up to
+  /// `kMaxShards`). The Evaluator measures samples on an
+  /// `engine::ShardedEngine` with this many shards; the tuning space
+  /// (memory, T, policy) still describes the *total* system budget.
   size_t num_shards = 1;
   /// Intra-engine parallelism: workers the serving engine fans per-shard
   /// sub-batches (and scatter-gather scan probes) across inside

@@ -124,6 +124,18 @@ class ContentCache {
     EvictToCapacity();
   }
 
+  /// Cache keys in recency order, most-recent first (hibernation
+  /// snapshots persist this so rehydration rebuilds the exact LRU state).
+  std::vector<uint64_t> KeysMruToLru() const {
+    std::vector<uint64_t> keys;
+    keys.reserve(map_.size());
+    for (const auto& [key, content] : lru_) {
+      (void)content;
+      keys.push_back(key);
+    }
+    return keys;
+  }
+
  private:
   void EvictToCapacity() {
     while (map_.size() > capacity_) {
@@ -221,6 +233,17 @@ struct FileEngine::Shard {
   std::unique_ptr<fileio::IoRing> ring;
   std::vector<fileio::AlignedBuf> ring_bufs;
   uint32_t io_depth = 1;
+
+  /// Hibernation state. While hibernated, the heavy members above
+  /// (memtable, levels and their fds, cache contents, scratch, ring) are
+  /// released into the sidecar file `dir + "/hibernate.snap"`; the cheap
+  /// residuals below keep the observability surface (entries, run counts,
+  /// transition status) answerable without rehydrating.
+  bool hibernated = false;
+  uint64_t hib_memtable_size = 0;
+  /// Per-level (run count, entry count) at hibernation time.
+  std::vector<std::pair<size_t, uint64_t>> hib_level_shape;
+  uint64_t last_touch_epoch = ~uint64_t{0};  // sentinel: never touched
 };
 
 namespace {
@@ -515,6 +538,182 @@ void SetupShardRing(FileEngine::Shard& sh, const FileEngineConfig& cfg,
   for (uint32_t i = 0; i < depth; ++i) {
     sh.ring_bufs.push_back(AllocAligned(cfg.block_bytes, cfg.block_bytes));
   }
+}
+
+/// The queue depth `SetupShardRing` would resolve for `options` — used to
+/// answer queue-depth/backend queries for shards that have no live ring
+/// state yet (cold) or released it (hibernated).
+uint32_t ResolvedQueueDepth(const lsm::Options& options,
+                            const FileEngineConfig& cfg) {
+  return std::max<uint32_t>(
+      1, options.io_queue_depth > 0
+             ? static_cast<uint32_t>(options.io_queue_depth)
+             : cfg.io_queue_depth);
+}
+
+bool RingWouldEngage(uint32_t depth, const FileEngineConfig& cfg,
+                     bool engine_uring) {
+  return engine_uring && (cfg.io_mode == IoMode::kUring || depth > 1);
+}
+
+constexpr uint64_t kSnapMagic = 0x43414d5348494253ULL;  // "CAMSHIBS"
+
+/// Persists a shard's in-memory structures into its sidecar file and
+/// releases them. The sidecar carries everything materialization cannot
+/// rebuild from the run files alone without charging I/O: the memtable,
+/// per-run metadata (fences, Bloom internals), and the cache's key
+/// recency order. All sidecar I/O is deliberately uncounted — hibernation
+/// is a resource-management event, not workload cost — so every clock and
+/// counter the engine reports stays bit-identical to an eager engine.
+void HibernateShardState(FileEngine::Shard& sh) {
+  const std::string path = sh.dir + "/hibernate.snap";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  SysCheck(f != nullptr, "fopen(hibernate)", path);
+  auto w64 = [&](uint64_t v) {
+    SysCheck(std::fwrite(&v, sizeof(v), 1, f) == 1, "fwrite", path);
+  };
+  auto wbuf = [&](const void* p, size_t n) {
+    if (n == 0) return;
+    SysCheck(std::fwrite(p, 1, n, f) == n, "fwrite", path);
+  };
+
+  w64(kSnapMagic);
+  w64(sh.memtable.size());
+  for (const auto& [key, e] : sh.memtable) {
+    (void)key;
+    DiskEntry d{e.key, e.value, e.tombstone ? kTombstoneFlag : 0};
+    wbuf(&d, sizeof(d));
+  }
+  w64(sh.levels.size());
+  for (const auto& level : sh.levels) {
+    w64(level.size());
+    for (const FileRunPtr& r : level) {
+      w64(r->id);
+      w64(r->num_entries);
+      w64(r->min_key);
+      w64(r->max_key);
+      w64(r->fence.size());
+      wbuf(r->fence.data(), r->fence.size() * sizeof(uint64_t));
+      w64(r->filter.memory_bits());
+      w64(static_cast<uint64_t>(r->filter.num_hashes()));
+      const double bpk = r->filter.bits_per_key();
+      wbuf(&bpk, sizeof(bpk));
+      const auto& words = r->filter.words();
+      w64(words.size());
+      wbuf(words.data(), words.size() * sizeof(uint64_t));
+    }
+  }
+  const std::vector<uint64_t> keys = sh.cache.KeysMruToLru();
+  w64(keys.size());
+  wbuf(keys.data(), keys.size() * sizeof(uint64_t));
+  SysCheck(std::fclose(f) == 0, "fclose", path);
+
+  // Cheap residuals keep size/transition queries answerable while asleep.
+  sh.hib_memtable_size = sh.memtable.size();
+  sh.hib_level_shape.clear();
+  for (const auto& level : sh.levels) {
+    sh.hib_level_shape.emplace_back(level.size(), LevelEntries(level));
+  }
+  sh.memtable.clear();
+  sh.levels.clear();  // closes every run fd
+  sh.cache.Resize(0);
+  sh.scratch.reset();
+  sh.ring.reset();
+  sh.ring_bufs.clear();
+  sh.io_depth = 1;
+  sh.hibernated = true;
+}
+
+/// Rehydrates a hibernated shard from its sidecar: reopens run files,
+/// rebuilds fences and Bloom filters from the persisted internals, and
+/// refills the block cache to its exact pre-hibernation recency order
+/// with uncounted preads. The woken shard behaves bit-identically — same
+/// lookup outcomes, same charged reads, same LRU evolution — to one that
+/// never slept.
+void WakeShardState(FileEngine::Shard& sh, const FileEngineConfig& cfg,
+                    bool direct_io, bool engine_uring) {
+  const std::string path = sh.dir + "/hibernate.snap";
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  SysCheck(f != nullptr, "fopen(wake)", path);
+  auto r64 = [&]() {
+    uint64_t v = 0;
+    SysCheck(std::fread(&v, sizeof(v), 1, f) == 1, "fread", path);
+    return v;
+  };
+  auto rbuf = [&](void* p, size_t n) {
+    if (n == 0) return;
+    SysCheck(std::fread(p, 1, n, f) == n, "fread", path);
+  };
+
+  CAMAL_CHECK(r64() == kSnapMagic);
+  const uint64_t mem_count = r64();
+  for (uint64_t i = 0; i < mem_count; ++i) {
+    DiskEntry d;
+    rbuf(&d, sizeof(d));
+    sh.memtable.emplace_hint(sh.memtable.end(), d.key, ToEntry(d));
+  }
+  const uint64_t num_levels = r64();
+  sh.levels.resize(num_levels);
+  std::unordered_map<uint64_t, const FileRun*> run_by_id;
+  for (uint64_t l = 0; l < num_levels; ++l) {
+    const uint64_t num_runs = r64();
+    sh.levels[l].reserve(num_runs);
+    for (uint64_t ri = 0; ri < num_runs; ++ri) {
+      auto run = std::make_shared<FileRun>();
+      run->id = r64();
+      run->num_entries = r64();
+      run->min_key = r64();
+      run->max_key = r64();
+      run->path = sh.dir + "/run_" + std::to_string(run->id) + ".cam";
+      run->fence.resize(r64());
+      rbuf(run->fence.data(), run->fence.size() * sizeof(uint64_t));
+      const uint64_t num_bits = r64();
+      const int num_hashes = static_cast<int>(r64());
+      double bpk = 0.0;
+      rbuf(&bpk, sizeof(bpk));
+      std::vector<uint64_t> words(r64());
+      rbuf(words.data(), words.size() * sizeof(uint64_t));
+      run->filter = lsm::BloomFilter::FromParts(std::move(words), num_bits,
+                                                num_hashes, bpk);
+      run->fd = fileio::OpenRead(run->path, direct_io);
+      run_by_id.emplace(run->id, run.get());
+      sh.levels[l].push_back(std::move(run));
+    }
+  }
+
+  sh.scratch = AllocAligned(cfg.block_bytes, cfg.block_bytes);
+  const uint64_t capacity = sh.options.block_cache_bytes / cfg.block_bytes;
+  sh.cache.Resize(capacity);
+  std::vector<uint64_t> keys(r64());
+  rbuf(keys.data(), keys.size() * sizeof(uint64_t));
+  SysCheck(std::fclose(f) == 0, "fclose", path);
+  ::unlink(path.c_str());
+  // Refill most-recent-first up to the (possibly shrunk-while-asleep)
+  // capacity, inserting least-recent first so promotion lands every key
+  // in its original recency slot. Uncounted reads: the cache held these
+  // bytes when the shard went to sleep.
+  const size_t restore = std::min<size_t>(keys.size(), capacity);
+  for (size_t i = restore; i-- > 0;) {
+    const uint64_t ckey = keys[i];
+    const uint64_t run_id = ckey >> 22;
+    const uint64_t blk = ckey & ((1ULL << 22) - 1);
+    const auto rit = run_by_id.find(run_id);
+    CAMAL_CHECK(rit != run_by_id.end());
+    const FileRun& run = *rit->second;
+    const ssize_t n = ::pread(run.fd, sh.scratch.get(), cfg.block_bytes,
+                              static_cast<off_t>(blk * cfg.block_bytes));
+    SysCheck(n == static_cast<ssize_t>(cfg.block_bytes), "pread(wake)",
+             run.path);
+    sh.cache.Insert(ckey, std::make_shared<std::vector<char>>(
+                              sh.scratch.get(),
+                              sh.scratch.get() + cfg.block_bytes));
+  }
+
+  sh.io_depth = 0;  // force SetupShardRing to resolve from scratch
+  SetupShardRing(sh, cfg, engine_uring);
+  sh.hibernated = false;
+  sh.hib_memtable_size = 0;
+  sh.hib_level_shape.clear();
 }
 
 /// Executes a maximal run of consecutive `kGet` ops from one shard's
@@ -887,26 +1086,17 @@ FileEngine::FileEngine(size_t num_shards, const lsm::Options& total_options,
   // (SetupShardRing); everything else falls back to pread automatically.
   use_uring_ = config_.io_mode != IoMode::kPread && fileio::IoRingSupported();
 
-  const lsm::Options shard_options =
-      ShardedEngine::ShardOptions(total_options, num_shards);
-  shards_.reserve(num_shards);
-  for (size_t s = 0; s < num_shards; ++s) {
-    auto sh = std::make_unique<Shard>();
-    sh->options = shard_options;
-    sh->dir = workdir_ + "/shard_" + std::to_string(s);
-    fs::create_directories(sh->dir, ec);
-    SysCheck(!ec, "create_directories", sh->dir);
-    sh->cache.Resize(shard_options.block_cache_bytes / config_.block_bytes);
-    sh->scratch = AllocAligned(config_.block_bytes, config_.block_bytes);
-    sh->io_depth = 0;  // force SetupShardRing to resolve from scratch
-    SetupShardRing(*sh, config_, use_uring_);
-    shards_.push_back(std::move(sh));
+  default_options_ = ShardedEngine::ShardOptions(total_options, num_shards);
+  shards_.resize(num_shards);  // all cold
+  if (!config_.lifecycle.lazy) {
+    for (size_t s = 0; s < num_shards; ++s) MaterializeShard(s);
   }
 }
 
 FileEngine::~FileEngine() {
   // Close every run fd before touching the directory tree.
   for (auto& sh : shards_) {
+    if (sh == nullptr) continue;
     for (auto& level : sh->levels) level.clear();
   }
   if (config_.keep_files) return;
@@ -915,18 +1105,90 @@ FileEngine::~FileEngine() {
     fs::remove_all(workdir_, ec);
   } else {
     // The caller owned the directory before us: remove only our shard
-    // subtrees, never sibling content.
-    for (const auto& sh : shards_) fs::remove_all(sh->dir, ec);
+    // subtrees, never sibling content. Cold shards never created theirs.
+    for (const auto& sh : shards_) {
+      if (sh != nullptr) fs::remove_all(sh->dir, ec);
+    }
   }
 }
 
 FileEngine::Shard& FileEngine::shard(size_t s) {
   CAMAL_CHECK(s < shards_.size());
+  CAMAL_CHECK(shards_[s] != nullptr);
   return *shards_[s];
 }
 const FileEngine::Shard& FileEngine::shard(size_t s) const {
   CAMAL_CHECK(s < shards_.size());
+  CAMAL_CHECK(shards_[s] != nullptr);
   return *shards_[s];
+}
+
+const lsm::Options& FileEngine::EffectiveOptions(size_t s) const {
+  const auto it = cold_options_.find(s);
+  return it != cold_options_.end() ? it->second : default_options_;
+}
+
+FileEngine::Shard& FileEngine::MaterializeShard(size_t s) {
+  CAMAL_CHECK(s < shards_.size());
+  if (shards_[s] != nullptr) {
+    Shard& sh = *shards_[s];
+    if (sh.hibernated) {
+      WakeShardState(sh, config_, direct_io_, use_uring_);
+      hibernated_.erase(s);
+      resident_.insert(s);
+    }
+    return sh;
+  }
+  auto sh = std::make_unique<Shard>();
+  const auto it = cold_options_.find(s);
+  sh->options = it != cold_options_.end() ? it->second : default_options_;
+  if (it != cold_options_.end()) cold_options_.erase(it);
+  sh->dir = workdir_ + "/shard_" + std::to_string(s);
+  std::error_code ec;
+  fs::create_directories(sh->dir, ec);
+  SysCheck(!ec, "create_directories", sh->dir);
+  sh->cache.Resize(sh->options.block_cache_bytes / config_.block_bytes);
+  sh->scratch = AllocAligned(config_.block_bytes, config_.block_bytes);
+  sh->io_depth = 0;  // force SetupShardRing to resolve from scratch
+  SetupShardRing(*sh, config_, use_uring_);
+  shards_[s] = std::move(sh);
+  resident_.insert(s);
+  return *shards_[s];
+}
+
+void FileEngine::HibernateShardAt(size_t s) {
+  Shard& sh = shard(s);
+  CAMAL_CHECK(!sh.hibernated);
+  HibernateShardState(sh);
+  resident_.erase(s);
+  hibernated_.insert(s);
+}
+
+void FileEngine::WakeAllHibernated() {
+  while (!hibernated_.empty()) MaterializeShard(*hibernated_.begin());
+}
+
+void FileEngine::Touch(size_t s) {
+  if (config_.lifecycle.hibernate_after_batches == 0) return;
+  Shard& sh = *shards_[s];
+  if (sh.last_touch_epoch == epoch_) return;
+  sh.last_touch_epoch = epoch_;
+  idle_queue_.emplace_back(s, epoch_);
+}
+
+void FileEngine::HibernateIdleShards() {
+  const uint64_t window = config_.lifecycle.hibernate_after_batches;
+  while (!idle_queue_.empty() &&
+         idle_queue_.front().second + window <= epoch_) {
+    const auto [s, touched] = idle_queue_.front();
+    idle_queue_.pop_front();
+    // Lazy deletion: only the newest timer of a still-resident shard
+    // hibernates it.
+    if (shards_[s] != nullptr && !shards_[s]->hibernated &&
+        shards_[s]->last_touch_epoch == touched) {
+      HibernateShardAt(s);
+    }
+  }
 }
 
 size_t FileEngine::NumShards() const { return shards_.size(); }
@@ -939,21 +1201,27 @@ size_t FileEngine::ShardIndex(uint64_t key) const {
 // ------------------------------------------------------------ public surface
 
 void FileEngine::Put(uint64_t key, uint64_t value) {
-  Shard& sh = shard(ShardIndex(key));
+  const size_t s = ShardIndex(key);
+  Shard& sh = MaterializeShard(s);
+  Touch(s);
   const double t0 = NowNs();
   DoPut(sh, config_, direct_io_, key, value, /*tombstone=*/false);
   sh.clock.elapsed_ns += NowNs() - t0;
 }
 
 void FileEngine::Delete(uint64_t key) {
-  Shard& sh = shard(ShardIndex(key));
+  const size_t s = ShardIndex(key);
+  Shard& sh = MaterializeShard(s);
+  Touch(s);
   const double t0 = NowNs();
   DoPut(sh, config_, direct_io_, key, 0, /*tombstone=*/true);
   sh.clock.elapsed_ns += NowNs() - t0;
 }
 
 bool FileEngine::Get(uint64_t key, uint64_t* value) {
-  Shard& sh = shard(ShardIndex(key));
+  const size_t s = ShardIndex(key);
+  Shard& sh = MaterializeShard(s);
+  Touch(s);
   const double t0 = NowNs();
   const bool found = DoGet(sh, config_, key, value);
   sh.clock.elapsed_ns += NowNs() - t0;
@@ -963,7 +1231,8 @@ bool FileEngine::Get(uint64_t key, uint64_t* value) {
 size_t FileEngine::Scan(uint64_t start_key, size_t max_entries,
                         std::vector<lsm::Entry>* out) {
   if (shards_.size() == 1) {
-    Shard& sh = *shards_[0];
+    Shard& sh = MaterializeShard(0);
+    Touch(0);
     const double t0 = NowNs();
     const size_t n = DoScanShard(sh, config_, start_key, max_entries, out);
     sh.clock.elapsed_ns += NowNs() - t0;
@@ -971,13 +1240,21 @@ size_t FileEngine::Scan(uint64_t start_key, size_t max_entries,
   }
   if (max_entries == 0) return 0;
 
-  // Scatter: every shard contributes its own sorted slice (key sets are
-  // hash-partitioned and disjoint), each probe timed on its own clock.
-  std::vector<std::vector<lsm::Entry>> slices(shards_.size());
-  util::ParallelFor(pool_, 0, shards_.size(), [&](size_t s) {
-    Shard& sh = *shards_[s];
+  // Scans consult every data-holding shard: hibernated shards wake, cold
+  // shards are skipped (an empty shard contributes nothing and performs
+  // no reads).
+  WakeAllHibernated();
+  const std::vector<size_t> probed(resident_.begin(), resident_.end());
+  for (size_t s : probed) Touch(s);
+
+  // Scatter: every resident shard contributes its own sorted slice (key
+  // sets are hash-partitioned and disjoint), each probe timed on its own
+  // clock.
+  std::vector<std::vector<lsm::Entry>> slices(probed.size());
+  util::ParallelFor(pool_, 0, probed.size(), [&](size_t k) {
+    Shard& sh = *shards_[probed[k]];
     const double t0 = NowNs();
-    DoScanShard(sh, config_, start_key, max_entries, &slices[s]);
+    DoScanShard(sh, config_, start_key, max_entries, &slices[k]);
     sh.clock.elapsed_ns += NowNs() - t0;
   });
 
@@ -987,43 +1264,73 @@ size_t FileEngine::Scan(uint64_t start_key, size_t max_entries,
 
 void FileEngine::ExecuteOps(const Op* ops, size_t count, OpResult* results) {
   if (count == 0) return;
-  const size_t num_shards = shards_.size();
+  ++epoch_;
 
-  // One submission list per shard/file-set, in submission order; a scan
-  // probe appears in every shard's list (same decomposition as
-  // ShardedEngine::ExecuteOps — the shape a real submission ring wants).
-  std::vector<std::vector<size_t>> lists(num_shards);
+  // Pass 1: bring every shard this batch drives to the materialized
+  // state. Scans additionally wake all hibernated shards — their file
+  // sets participate in every range probe — while cold shards stay cold
+  // (an empty shard contributes nothing and performs no reads).
+  bool has_scan = false;
+  for (size_t i = 0; i < count; ++i) {
+    if (ops[i].kind == OpKind::kScan) {
+      has_scan = true;
+    } else {
+      const size_t s = ShardIndex(ops[i].key);
+      MaterializeShard(s);
+      Touch(s);
+    }
+  }
+  if (has_scan) WakeAllHibernated();
+
+  // Pass 2: one submission list per touched shard, in submission order; a
+  // scan probe appears in every resident shard's list (same sparse
+  // decomposition as ShardedEngine::ExecuteOps — O(ops + resident), never
+  // O(total shards)).
+  std::vector<size_t> list_shard;  // list index -> shard id
+  std::vector<std::vector<size_t>> lists;
+  std::unordered_map<size_t, size_t> list_of;
+  if (has_scan) {
+    // The probe set is the resident set after pass 1, ascending; every
+    // point shard of this batch is already in it.
+    list_shard.assign(resident_.begin(), resident_.end());
+    lists.resize(list_shard.size());
+    list_of.reserve(2 * list_shard.size());
+    for (size_t k = 0; k < list_shard.size(); ++k) {
+      list_of.emplace(list_shard[k], k);
+      Touch(list_shard[k]);
+    }
+  }
   std::vector<size_t> scan_slot(count, 0);
   std::vector<size_t> scan_op;
   for (size_t i = 0; i < count; ++i) {
     if (ops[i].kind == OpKind::kScan) {
       scan_slot[i] = scan_op.size();
       scan_op.push_back(i);
-      for (size_t s = 0; s < num_shards; ++s) lists[s].push_back(i);
+      for (auto& list : lists) list.push_back(i);
     } else {
-      lists[ShardIndex(ops[i].key)].push_back(i);
+      const size_t s = ShardIndex(ops[i].key);
+      const auto [it, inserted] = list_of.try_emplace(s, lists.size());
+      if (inserted) {
+        lists.emplace_back();
+        list_shard.push_back(s);
+      }
+      lists[it->second].push_back(i);
     }
   }
 
-  // Per-(scan, shard) probe bookkeeping: real duration, real I/O count,
-  // and live hits, indexed slot * num_shards + s so concurrent writers
-  // touch disjoint elements.
+  // Per-(scan, probed shard) bookkeeping: real duration, real I/O count,
+  // and live hits, indexed slot * stride + k so concurrent writers touch
+  // disjoint elements.
+  const size_t stride = lists.size();
   const size_t num_scans = scan_op.size();
-  std::vector<double> scan_ns(num_scans * num_shards, 0.0);
-  std::vector<uint64_t> scan_ios(num_scans * num_shards, 0);
-  std::vector<size_t> scan_hits(num_scans * num_shards, 0);
+  std::vector<double> scan_ns(num_scans * stride, 0.0);
+  std::vector<uint64_t> scan_ios(num_scans * stride, 0);
+  std::vector<size_t> scan_hits(num_scans * stride, 0);
 
-  std::vector<size_t> active;
-  active.reserve(num_shards);
-  for (size_t s = 0; s < num_shards; ++s) {
-    if (!lists[s].empty()) active.push_back(s);
-  }
-
-  util::ParallelFor(pool_, 0, active.size(), [&](size_t a) {
-    const size_t s = active[a];
-    Shard& sh = *shards_[s];
+  util::ParallelFor(pool_, 0, lists.size(), [&](size_t k) {
+    Shard& sh = *shards_[list_shard[k]];
     std::vector<lsm::Entry> scratch;
-    const std::vector<size_t>& list = lists[s];
+    const std::vector<size_t>& list = lists[k];
     for (size_t li = 0; li < list.size();) {
       const size_t i = list[li];
       const Op& op = ops[i];
@@ -1045,7 +1352,7 @@ void FileEngine::ExecuteOps(const Op* ops, size_t count, OpResult* results) {
       const uint64_t ios_before = sh.clock.block_reads + sh.clock.block_writes;
       const double t0 = NowNs();
       if (op.kind == OpKind::kScan) {
-        const size_t slot = scan_slot[i] * num_shards + s;
+        const size_t slot = scan_slot[i] * stride + k;
         scratch.clear();
         scan_hits[slot] =
             DoScanShard(sh, config_, op.key, op.scan_len, &scratch);
@@ -1078,40 +1385,77 @@ void FileEngine::ExecuteOps(const Op* ops, size_t count, OpResult* results) {
     }
   });
 
-  // Gather the scans: a probe ran on every shard; the op's latency is the
-  // sum of its per-shard probe times (serial-equivalent, the simulated
-  // engine's convention), its I/O the sum of real reads.
+  // Gather the scans: a probe ran on every resident shard (cold shards
+  // would have contributed zero reads and zero hits); the op's latency is
+  // the sum of its per-shard probe times (serial-equivalent, the
+  // simulated engine's convention), its I/O the sum of real reads.
   for (size_t slot = 0; slot < num_scans; ++slot) {
     OpResult r;
     size_t hits = 0;
-    for (size_t s = 0; s < num_shards; ++s) {
-      r.latency_ns += scan_ns[slot * num_shards + s];
-      r.ios += scan_ios[slot * num_shards + s];
-      hits += scan_hits[slot * num_shards + s];
+    for (size_t k = 0; k < stride; ++k) {
+      r.latency_ns += scan_ns[slot * stride + k];
+      r.ios += scan_ios[slot * stride + k];
+      hits += scan_hits[slot * stride + k];
     }
     const size_t i = scan_op[slot];
     r.scan_hits = std::min(ops[i].scan_len, hits);
     results[i] = r;
   }
+
+  if (config_.lifecycle.hibernate_after_batches != 0) HibernateIdleShards();
 }
 
 void FileEngine::FlushMemtable() {
-  for (auto& sh : shards_) {
+  // Hibernated shards holding buffered writes wake to flush them; the
+  // rest stay asleep (their flush would be a no-op). Cold shards are
+  // empty by construction.
+  std::vector<size_t> wake;
+  for (size_t s : hibernated_) {
+    if (shards_[s]->hib_memtable_size > 0) wake.push_back(s);
+  }
+  for (size_t s : wake) {
+    MaterializeShard(s);
+    Touch(s);
+  }
+  for (size_t s : resident_) {
+    Shard& sh = *shards_[s];
     const double t0 = NowNs();
-    FlushShard(*sh, config_, direct_io_);
-    sh->clock.elapsed_ns += NowNs() - t0;
+    FlushShard(sh, config_, direct_io_);
+    sh.clock.elapsed_ns += NowNs() - t0;
   }
 }
 
 void FileEngine::Reconfigure(const lsm::Options& new_total_options) {
   const lsm::Options per_shard =
       ShardedEngine::ShardOptions(new_total_options, shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) ReconfigureShard(s, per_shard);
+  default_options_ = per_shard;
+  cold_options_.clear();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s] != nullptr) ReconfigureShard(s, per_shard);
+  }
 }
 
 void FileEngine::ReconfigureShard(size_t s, const lsm::Options& options) {
-  Shard& sh = shard(s);
+  CAMAL_CHECK(s < shards_.size());
+  if (shards_[s] == nullptr) {
+    // Deferred: a cold shard is an empty file set, and reconfiguring an
+    // empty shard is observationally identical to materializing it with
+    // the new options in the first place.
+    CAMAL_CHECK(options.entry_bytes == EffectiveOptions(s).entry_bytes);
+    cold_options_[s] = options;
+    return;
+  }
+  Shard& sh = *shards_[s];
   CAMAL_CHECK(options.entry_bytes == sh.options.entry_bytes);
+  if (sh.hibernated) {
+    // In-place update while asleep, unless the buffered writes now
+    // overflow the new capacity — then the shard must wake to flush,
+    // exactly as the live path would.
+    sh.options = options;
+    if (sh.hib_memtable_size < options.BufferEntries()) return;
+    MaterializeShard(s);
+    Touch(s);
+  }
   const double t0 = NowNs();
   sh.options = options;
   // The cache resizes immediately; a memtable over the new buffer
@@ -1129,62 +1473,138 @@ void FileEngine::ReconfigureShard(size_t s, const lsm::Options& options) {
 }
 
 uint32_t FileEngine::ShardQueueDepth(size_t s) const {
-  const Shard& sh = shard(s);
-  return sh.ring != nullptr ? sh.io_depth : 1;
+  CAMAL_CHECK(s < shards_.size());
+  if (shards_[s] != nullptr && !shards_[s]->hibernated) {
+    return shards_[s]->ring != nullptr ? shards_[s]->io_depth : 1;
+  }
+  // Cold/hibernated: predict the depth materialization will resolve.
+  const lsm::Options& options =
+      shards_[s] != nullptr ? shards_[s]->options : EffectiveOptions(s);
+  const uint32_t depth = ResolvedQueueDepth(options, config_);
+  return RingWouldEngage(depth, config_, use_uring_) ? depth : 1;
 }
 
 const char* FileEngine::io_backend() const {
-  for (const auto& sh : shards_) {
-    if (sh->ring != nullptr) return "uring";
+  for (size_t s : resident_) {
+    if (shards_[s]->ring != nullptr) return "uring";
+  }
+  // No live ring: predict whether any cold/hibernated shard would engage
+  // one on materialization. All such shards run either their recorded
+  // options or the engine default, so checking hibernated shards plus one
+  // representative of each cold configuration covers every case without
+  // an O(total shards) walk.
+  if (use_uring_ && resident_.size() < shards_.size()) {
+    auto engages = [&](const lsm::Options& options) {
+      return RingWouldEngage(ResolvedQueueDepth(options, config_), config_,
+                             use_uring_);
+    };
+    for (size_t s : hibernated_) {
+      if (engages(shards_[s]->options)) return "uring";
+    }
+    const size_t awake = resident_.size() + hibernated_.size();
+    if (awake < shards_.size()) {
+      for (const auto& [s, options] : cold_options_) {
+        (void)s;
+        if (engages(options)) return "uring";
+      }
+      if (cold_options_.size() < shards_.size() - awake &&
+          engages(default_options_)) {
+        return "uring";
+      }
+    }
   }
   return "pread";
 }
 
 lsm::Options FileEngine::ShardOptionsSnapshot(size_t s) const {
-  return shard(s).options;
+  CAMAL_CHECK(s < shards_.size());
+  return shards_[s] != nullptr ? shards_[s]->options : EffectiveOptions(s);
+}
+
+ShardState FileEngine::ShardLifecycle(size_t s) const {
+  CAMAL_CHECK(s < shards_.size());
+  if (shards_[s] == nullptr) return ShardState::kCold;
+  return shards_[s]->hibernated ? ShardState::kHibernated
+                                : ShardState::kMaterialized;
+}
+
+void FileEngine::AppendResidentShards(std::vector<size_t>* out) const {
+  out->insert(out->end(), resident_.begin(), resident_.end());
 }
 
 sim::DeviceSnapshot FileEngine::CostSnapshot() const {
   sim::DeviceSnapshot total;
-  for (const auto& sh : shards_) total += sh->clock.Snapshot();
+  for (const auto& sh : shards_) {
+    if (sh != nullptr) total += sh->clock.Snapshot();
+  }
   return total;
 }
 
 sim::DeviceSnapshot FileEngine::ShardCostSnapshot(size_t s) const {
-  return shard(s).clock.Snapshot();
+  CAMAL_CHECK(s < shards_.size());
+  if (shards_[s] == nullptr) return sim::DeviceSnapshot{};
+  return shards_[s]->clock.Snapshot();
 }
 
 EngineCounters FileEngine::AggregateCounters() const {
   EngineCounters total;
-  for (const auto& sh : shards_) total += sh->counters;
+  for (const auto& sh : shards_) {
+    if (sh != nullptr) total += sh->counters;
+  }
   return total;
 }
 
 EngineCounters FileEngine::ShardCounters(size_t s) const {
-  return shard(s).counters;
+  CAMAL_CHECK(s < shards_.size());
+  if (shards_[s] == nullptr) return EngineCounters{};
+  return shards_[s]->counters;
 }
 
 uint64_t FileEngine::TotalEntries() const {
   uint64_t total = 0;
   for (const auto& sh : shards_) {
-    total += sh->disk_entries + sh->memtable.size();
+    if (sh == nullptr) continue;
+    total += sh->disk_entries +
+             (sh->hibernated ? sh->hib_memtable_size : sh->memtable.size());
   }
   return total;
 }
 
 uint64_t FileEngine::DiskEntries() const {
   uint64_t total = 0;
-  for (const auto& sh : shards_) total += sh->disk_entries;
+  for (const auto& sh : shards_) {
+    if (sh != nullptr) total += sh->disk_entries;
+  }
   return total;
 }
 
 uint64_t FileEngine::ShardEntries(size_t s) const {
-  const Shard& sh = shard(s);
-  return sh.disk_entries + sh.memtable.size();
+  CAMAL_CHECK(s < shards_.size());
+  if (shards_[s] == nullptr) return 0;
+  const Shard& sh = *shards_[s];
+  return sh.disk_entries +
+         (sh.hibernated ? sh.hib_memtable_size : sh.memtable.size());
 }
 
 bool FileEngine::InTransition() const {
   for (const auto& sh : shards_) {
+    if (sh == nullptr) continue;
+    if (sh->hibernated) {
+      // Judge the frozen shape against the (possibly updated-in-place)
+      // options, mirroring the live LevelViolates checks.
+      for (size_t l = 0; l < sh->hib_level_shape.size(); ++l) {
+        const auto& [runs, entries] = sh->hib_level_shape[l];
+        if (runs == 0) continue;
+        if (runs > static_cast<size_t>(sh->options.MaxRunsPerLevel())) {
+          return true;
+        }
+        if (static_cast<double>(entries) >
+            sh->options.LevelCapacityEntries(static_cast<int>(l))) {
+          return true;
+        }
+      }
+      continue;
+    }
     for (size_t l = 0; l < sh->levels.size(); ++l) {
       if (LevelViolates(sh->options, sh->levels[l], l)) return true;
     }
@@ -1193,7 +1613,17 @@ bool FileEngine::InTransition() const {
 }
 
 size_t FileEngine::ShardRunCount(size_t s) const {
-  const Shard& sh = shard(s);
+  CAMAL_CHECK(s < shards_.size());
+  if (shards_[s] == nullptr) return 0;
+  const Shard& sh = *shards_[s];
+  if (sh.hibernated) {
+    size_t runs = 0;
+    for (const auto& [count, entries] : sh.hib_level_shape) {
+      (void)entries;
+      runs += count;
+    }
+    return runs;
+  }
   size_t runs = 0;
   for (const auto& level : sh.levels) runs += level.size();
   return runs;

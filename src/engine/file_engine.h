@@ -2,8 +2,12 @@
 #define CAMAL_ENGINE_FILE_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/storage_engine.h"
@@ -60,6 +64,14 @@ struct FileEngineConfig {
   /// ring path (1 = no overlap). Per-shard `lsm::Options::io_queue_depth`
   /// overrides this when nonzero — that is the knob the tuner drives.
   uint32_t io_queue_depth = 1;
+  /// Shard lifecycle: lazy instantiation (a cold shard holds no memtable,
+  /// Bloom filters, cache, scratch buffers, or file descriptors) and
+  /// idle-shard hibernation (a hibernated shard persists its in-memory
+  /// structures to an uncounted sidecar file next to its run files and
+  /// releases them; the next touching op rehydrates it). Both transitions
+  /// leave logical results, per-op I/O counts, and `EngineCounters`
+  /// bit-identical to an eager engine.
+  ShardLifecycleConfig lifecycle;
 };
 
 /// \brief Real-IO storage backend: an LSM engine whose sorted runs are
@@ -147,6 +159,10 @@ class FileEngine : public StorageEngine {
 
   lsm::Options ShardOptionsSnapshot(size_t shard) const override;
 
+  ShardState ShardLifecycle(size_t shard) const override;
+  size_t MaterializedShards() const override { return resident_.size(); }
+  void AppendResidentShards(std::vector<size_t>* out) const override;
+
   /// Real cost clocks: block_reads/block_writes are actual pread/pwrite
   /// block counts, elapsed_ns is accumulated monotonic wall time.
   sim::DeviceSnapshot CostSnapshot() const override;
@@ -173,11 +189,14 @@ class FileEngine : public StorageEngine {
   /// `ExecuteOps`: "uring" when the build carries the ring path, the
   /// kernel accepted `io_uring_setup`, and the configured mode/depth gave
   /// at least one shard a live ring; "pread" otherwise (the automatic
-  /// fallback).
+  /// fallback). For cold/hibernated shards the answer is predicted from
+  /// their effective options — the same resolution materialization will
+  /// perform — so the report is stable across lifecycle transitions.
   const char* io_backend() const;
 
   /// The queue depth a shard's ring currently runs at (after applying the
-  /// shard-options override); 1 on the pread path.
+  /// shard-options override); 1 on the pread path. Predicted from the
+  /// effective options for cold/hibernated shards (see `io_backend`).
   uint32_t ShardQueueDepth(size_t shard) const;
 
   /// The resolved working directory (useful when `workdir` was empty).
@@ -197,12 +216,42 @@ class FileEngine : public StorageEngine {
   Shard& shard(size_t s);
   const Shard& shard(size_t s) const;
 
+  /// The options shard `s` will materialize with while it is cold.
+  const lsm::Options& EffectiveOptions(size_t s) const;
+
+  /// Brings shard `s` to the materialized state: creates its directory,
+  /// cache, scratch buffers, and ring for a cold shard, or rehydrates a
+  /// hibernated one from its sidecar. Returns the live shard.
+  Shard& MaterializeShard(size_t s);
+
+  /// Freezes shard `s` into its sidecar and releases in-memory state.
+  void HibernateShardAt(size_t s);
+
+  /// Wakes every hibernated shard (scans probe all data-holding shards).
+  void WakeAllHibernated();
+
+  /// Marks shard `s` active this batch and arms its idle timer.
+  void Touch(size_t s);
+
+  /// Hibernates shards whose idle timers expired.
+  void HibernateIdleShards();
+
   FileEngineConfig config_;
   std::string workdir_;
   bool created_workdir_ = false;
   bool direct_io_ = false;
   bool use_uring_ = false;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  lsm::Options default_options_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // null entry = cold shard
+  /// Options applied to a shard while cold, pending materialization.
+  std::map<size_t, lsm::Options> cold_options_;
+  /// Materialized shard ids, ascending (scan probe order).
+  std::set<size_t> resident_;
+  /// Hibernated shard ids.
+  std::set<size_t> hibernated_;
+  /// Idle tracking: (shard, touch epoch) entries with lazy deletion.
+  std::deque<std::pair<size_t, uint64_t>> idle_queue_;
+  uint64_t epoch_ = 0;
   util::ThreadPool* pool_ = nullptr;
 };
 

@@ -2,12 +2,52 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
 #include "util/random.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace camal::engine {
+
+namespace {
+
+/// Mirror of LsmTree's private transition predicate, evaluated against a
+/// frozen shard's levels so a hibernated shard can be reconfigured
+/// in place — updating options, cache capacity, and the transition flag
+/// exactly as a live `Reconfigure` would — without rehydrating it.
+bool AnyLevelViolates(const lsm::Levels& levels, const lsm::Options& opts) {
+  for (size_t i = 0; i < levels.NumLevels(); ++i) {
+    const auto& runs = levels.At(i);
+    if (runs.empty()) continue;
+    if (runs.size() > static_cast<size_t>(opts.MaxRunsPerLevel())) return true;
+    if (static_cast<double>(levels.LevelEntries(i)) >
+        opts.LevelCapacityEntries(static_cast<int>(i))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// In-place reconfiguration of a hibernated shard: same observable effect
+/// as waking it, calling `LsmTree::Reconfigure`, and re-freezing — the
+/// cache truncates from the LRU end, the transition flag is recomputed —
+/// but O(cache keys) instead of a full rehydration.
+void ReconfigureFrozen(lsm::FrozenTreeState* frozen, const lsm::Options& opts,
+                       uint64_t block_bytes) {
+  CAMAL_CHECK(opts.Validate().ok());
+  CAMAL_CHECK(opts.entry_bytes == frozen->options.entry_bytes);
+  frozen->options = opts;
+  const uint64_t capacity = opts.block_cache_bytes / block_bytes;
+  frozen->cache.capacity = capacity;
+  if (frozen->cache.keys_mru_to_lru.size() > capacity) {
+    frozen->cache.keys_mru_to_lru.resize(capacity);
+  }
+  frozen->transition_active = AnyLevelViolates(frozen->levels, opts);
+}
+
+}  // namespace
 
 size_t MergeDisjointSlices(const std::vector<std::vector<lsm::Entry>>& slices,
                            size_t max_entries, std::vector<lsm::Entry>* out) {
@@ -45,20 +85,16 @@ size_t MergeDisjointSlices(const std::vector<std::vector<lsm::Entry>>& slices,
 
 ShardedEngine::ShardedEngine(size_t num_shards,
                              const lsm::Options& total_options,
-                             const sim::DeviceConfig& device_config) {
+                             const sim::DeviceConfig& device_config,
+                             const ShardLifecycleConfig& lifecycle)
+    : default_options_(ShardOptions(total_options, num_shards)),
+      device_config_(device_config),
+      lifecycle_(lifecycle) {
   CAMAL_CHECK(num_shards >= 1);
-  const lsm::Options shard_options = ShardOptions(total_options, num_shards);
-  shards_.reserve(num_shards);
-  for (size_t i = 0; i < num_shards; ++i) {
-    sim::DeviceConfig cfg = device_config;
-    // Shard 0 keeps the caller's jitter stream (1-shard bit-identity with
-    // the direct-tree path); later shards derive independent streams.
-    if (i > 0) cfg.jitter_seed = util::HashCombine(cfg.jitter_seed, i);
-    Shard shard;
-    shard.device = std::make_unique<sim::Device>(cfg);
-    shard.tree =
-        std::make_unique<lsm::LsmTree>(shard_options, shard.device.get());
-    shards_.push_back(std::move(shard));
+  CAMAL_CHECK(default_options_.Validate().ok());
+  shards_.resize(num_shards);
+  if (!lifecycle_.lazy) {
+    for (size_t s = 0; s < num_shards; ++s) MaterializeShard(s);
   }
 }
 
@@ -80,39 +116,133 @@ size_t ShardedEngine::ShardIndex(uint64_t key) const {
   return static_cast<size_t>(util::Mix64(key) % shards_.size());
 }
 
+const lsm::Options& ShardedEngine::EffectiveOptions(size_t s) const {
+  const auto it = cold_options_.find(s);
+  return it != cold_options_.end() ? it->second : default_options_;
+}
+
+sim::Device* ShardedEngine::EnsureDevice(size_t s) {
+  Shard& shard = shards_[s];
+  if (shard.device == nullptr) {
+    sim::DeviceConfig cfg = device_config_;
+    // Shard 0 keeps the caller's jitter stream (1-shard bit-identity with
+    // the direct-tree path); later shards derive independent streams. The
+    // seed is a pure function of the shard index, so a shard that
+    // materializes late gets exactly the device eager construction would
+    // have given it.
+    if (s > 0) cfg.jitter_seed = util::HashCombine(cfg.jitter_seed, s);
+    shard.device = std::make_unique<sim::Device>(cfg);
+  }
+  return shard.device.get();
+}
+
+lsm::LsmTree* ShardedEngine::MaterializeShard(size_t s) {
+  Shard& shard = shards_[s];
+  if (shard.tree != nullptr) return shard.tree.get();
+  sim::Device* device = EnsureDevice(s);
+  if (shard.frozen != nullptr) {
+    shard.tree =
+        std::make_unique<lsm::LsmTree>(std::move(*shard.frozen), device);
+    shard.frozen.reset();
+    hibernated_.erase(s);
+  } else {
+    const auto it = cold_options_.find(s);
+    shard.tree = std::make_unique<lsm::LsmTree>(
+        it != cold_options_.end() ? it->second : default_options_, device);
+    if (it != cold_options_.end()) cold_options_.erase(it);
+  }
+  resident_.insert(s);
+  return shard.tree.get();
+}
+
+void ShardedEngine::HibernateShard(size_t s) {
+  Shard& shard = shards_[s];
+  CAMAL_CHECK(shard.tree != nullptr);
+  shard.frozen = shard.tree->Freeze();
+  shard.tree.reset();
+  resident_.erase(s);
+  hibernated_.insert(s);
+}
+
+void ShardedEngine::WakeAllHibernated() {
+  while (!hibernated_.empty()) MaterializeShard(*hibernated_.begin());
+}
+
+void ShardedEngine::Touch(size_t s) {
+  if (lifecycle_.hibernate_after_batches == 0) return;
+  Shard& shard = shards_[s];
+  if (shard.last_touch_epoch == epoch_) return;
+  shard.last_touch_epoch = epoch_;
+  idle_queue_.emplace_back(s, epoch_);
+}
+
+void ShardedEngine::HibernateIdleShards() {
+  const uint64_t window = lifecycle_.hibernate_after_batches;
+  while (!idle_queue_.empty() && idle_queue_.front().second + window <= epoch_) {
+    const auto [s, touched] = idle_queue_.front();
+    idle_queue_.pop_front();
+    // Lazy deletion: only the newest timer for a still-resident shard
+    // hibernates it; stale entries (shard re-touched or already asleep)
+    // fall through.
+    if (shards_[s].tree != nullptr && shards_[s].last_touch_epoch == touched) {
+      HibernateShard(s);
+    }
+  }
+}
+
 void ShardedEngine::Put(uint64_t key, uint64_t value) {
-  shards_[ShardIndex(key)].tree->Put(key, value);
+  const size_t s = ShardIndex(key);
+  MaterializeShard(s);
+  Touch(s);
+  shards_[s].tree->Put(key, value);
 }
 
 void ShardedEngine::Delete(uint64_t key) {
-  shards_[ShardIndex(key)].tree->Delete(key);
+  const size_t s = ShardIndex(key);
+  MaterializeShard(s);
+  Touch(s);
+  shards_[s].tree->Delete(key);
 }
 
 bool ShardedEngine::Get(uint64_t key, uint64_t* value) {
-  return shards_[ShardIndex(key)].tree->Get(key, value);
+  const size_t s = ShardIndex(key);
+  MaterializeShard(s);
+  Touch(s);
+  return shards_[s].tree->Get(key, value);
 }
 
-void ShardedEngine::ScatterScan(uint64_t start_key, size_t max_entries,
+void ShardedEngine::ScatterScan(const std::vector<size_t>& probed,
+                                uint64_t start_key, size_t max_entries,
                                 std::vector<std::vector<lsm::Entry>>* slices) {
   // Each probe touches only its own shard's tree and device, so the fan-out
   // is deterministic: shard-local cost is independent of scheduling.
-  slices->assign(shards_.size(), {});
-  util::ParallelFor(pool_, 0, shards_.size(), [&](size_t s) {
-    shards_[s].tree->Scan(start_key, max_entries, &(*slices)[s]);
+  slices->assign(probed.size(), {});
+  util::ParallelFor(pool_, 0, probed.size(), [&](size_t k) {
+    shards_[probed[k]].tree->Scan(start_key, max_entries, &(*slices)[k]);
   });
 }
 
 size_t ShardedEngine::Scan(uint64_t start_key, size_t max_entries,
                            std::vector<lsm::Entry>* out) {
   if (shards_.size() == 1) {
+    MaterializeShard(0);
+    Touch(0);
     return shards_[0].tree->Scan(start_key, max_entries, out);
   }
   if (max_entries == 0) return 0;
 
-  // Scatter: each shard contributes up to max_entries of its own sorted,
-  // live entries (keys are hash-partitioned, so shard slices are disjoint).
+  // Scans consult every shard that holds data: hibernated shards wake,
+  // cold shards are skipped (an empty tree contributes nothing and
+  // charges nothing).
+  WakeAllHibernated();
+  const std::vector<size_t> probed(resident_.begin(), resident_.end());
+  for (size_t s : probed) Touch(s);
+
+  // Scatter: each resident shard contributes up to max_entries of its own
+  // sorted, live entries (keys are hash-partitioned, so shard slices are
+  // disjoint).
   std::vector<std::vector<lsm::Entry>> slices;
-  ScatterScan(start_key, max_entries, &slices);
+  ScatterScan(probed, start_key, max_entries, &slices);
 
   // Gather: binary-heap k-way merge of the disjoint sorted slices.
   return MergeDisjointSlices(slices, max_entries, out);
@@ -121,52 +251,84 @@ size_t ShardedEngine::Scan(uint64_t start_key, size_t max_entries,
 void ShardedEngine::ExecuteOps(const Op* ops, size_t count,
                                OpResult* results) {
   if (count == 0) return;
-  const size_t num_shards = shards_.size();
+  ++epoch_;
 
-  // Partition the batch into per-shard operation lists in submission
-  // order: point ops go to their routed shard, a scan probe appears in
-  // every shard's list. Each shard's list is exactly the op subsequence
-  // that shard would serve under serial execution, so running the lists
-  // concurrently (shard state — tree, device, jitter stream — is fully
-  // shard-local) reproduces the serial results bit-for-bit with no
-  // barrier inside the batch.
-  std::vector<std::vector<size_t>> lists(num_shards);
+  // Pass 1: bring every shard this batch drives to the materialized state.
+  // Scans additionally wake all hibernated shards — their data
+  // participates in every range probe — while cold shards stay cold
+  // (probing an empty tree returns nothing and charges nothing, so
+  // skipping them is bit-identical to the eager engine probing them).
+  bool has_scan = false;
+  for (size_t i = 0; i < count; ++i) {
+    if (ops[i].kind == OpKind::kScan) {
+      has_scan = true;
+    } else {
+      const size_t s = ShardIndex(ops[i].key);
+      MaterializeShard(s);
+      Touch(s);
+    }
+  }
+  if (has_scan) WakeAllHibernated();
+
+  // Pass 2: partition the batch into per-shard operation lists in
+  // submission order: point ops go to their routed shard, a scan probe
+  // appears in every resident shard's list. Each list is exactly the op
+  // subsequence its shard would serve under serial execution, so running
+  // the lists concurrently (shard state — tree, device, jitter stream —
+  // is fully shard-local) reproduces the serial results bit-for-bit with
+  // no barrier inside the batch. All bookkeeping is O(ops + resident),
+  // never O(total shards).
+  std::vector<size_t> list_shard;  // list index -> shard id
+  std::vector<std::vector<size_t>> lists;
+  std::unordered_map<size_t, size_t> list_of;
+  if (has_scan) {
+    // The probe set is the resident set after pass 1, ascending — every
+    // point shard of this batch is already in it, so no list is created
+    // below and list_shard stays sorted (the gather relies on it).
+    list_shard.assign(resident_.begin(), resident_.end());
+    lists.resize(list_shard.size());
+    list_of.reserve(2 * list_shard.size());
+    for (size_t k = 0; k < list_shard.size(); ++k) {
+      list_of.emplace(list_shard[k], k);
+      Touch(list_shard[k]);
+    }
+  }
   std::vector<size_t> scan_slot(count, 0);
   std::vector<size_t> scan_op;
   for (size_t i = 0; i < count; ++i) {
     if (ops[i].kind == OpKind::kScan) {
       scan_slot[i] = scan_op.size();
       scan_op.push_back(i);
-      for (size_t s = 0; s < num_shards; ++s) lists[s].push_back(i);
+      for (auto& list : lists) list.push_back(i);
     } else {
-      lists[ShardIndex(ops[i].key)].push_back(i);
+      const size_t s = ShardIndex(ops[i].key);
+      const auto [it, inserted] = list_of.try_emplace(s, lists.size());
+      if (inserted) {
+        lists.emplace_back();
+        list_shard.push_back(s);
+      }
+      lists[it->second].push_back(i);
     }
   }
 
-  // Per-(scan, shard) probe bookkeeping, indexed slot * num_shards + s so
+  // Per-(scan, probed shard) bookkeeping, indexed slot * stride + k so
   // concurrent writers touch disjoint elements. Snapshots (not deltas) are
   // recorded so the merge below can reproduce the historical "sum the
   // devices, then diff the totals" floating-point arithmetic exactly.
+  const size_t stride = lists.size();
   const size_t num_scans = scan_op.size();
-  std::vector<sim::DeviceSnapshot> scan_before(num_scans * num_shards);
-  std::vector<sim::DeviceSnapshot> scan_after(num_scans * num_shards);
-  std::vector<size_t> scan_counts(num_scans * num_shards, 0);
+  std::vector<sim::DeviceSnapshot> scan_before(num_scans * stride);
+  std::vector<sim::DeviceSnapshot> scan_after(num_scans * stride);
+  std::vector<size_t> scan_counts(num_scans * stride, 0);
 
-  std::vector<size_t> active;
-  active.reserve(num_shards);
-  for (size_t s = 0; s < num_shards; ++s) {
-    if (!lists[s].empty()) active.push_back(s);
-  }
-
-  util::ParallelFor(pool_, 0, active.size(), [&](size_t a) {
-    const size_t s = active[a];
-    lsm::LsmTree* tree = shards_[s].tree.get();
-    sim::Device* dev = shards_[s].device.get();
+  util::ParallelFor(pool_, 0, lists.size(), [&](size_t k) {
+    lsm::LsmTree* tree = shards_[list_shard[k]].tree.get();
+    sim::Device* dev = shards_[list_shard[k]].device.get();
     std::vector<lsm::Entry> scratch;
-    for (size_t i : lists[s]) {
+    for (size_t i : lists[k]) {
       const Op& op = ops[i];
       if (op.kind == OpKind::kScan) {
-        const size_t slot = scan_slot[i] * num_shards + s;
+        const size_t slot = scan_slot[i] * stride + k;
         scratch.clear();
         scan_before[slot] = dev->Snapshot();
         scan_counts[slot] = tree->Scan(op.key, op.scan_len, &scratch);
@@ -198,16 +360,18 @@ void ShardedEngine::ExecuteOps(const Op* ops, size_t count,
   });
 
   // Deterministic gather for the scans: sum the per-shard snapshots in
-  // shard order, diff the totals (the serial-equivalent cost — the same
-  // bits the old caller-side CostSnapshot() diff produced), and cap the
-  // combined hit count at the probe limit.
+  // ascending shard order (list_shard is sorted whenever scans exist),
+  // diff the totals (the serial-equivalent cost — the same bits the old
+  // caller-side CostSnapshot() diff produced; absent cold shards would
+  // have contributed exact zeros), and cap the combined hit count at the
+  // probe limit.
   for (size_t slot = 0; slot < num_scans; ++slot) {
     sim::DeviceSnapshot total_before, total_after;
     size_t hits = 0;
-    for (size_t s = 0; s < num_shards; ++s) {
-      total_before += scan_before[slot * num_shards + s];
-      total_after += scan_after[slot * num_shards + s];
-      hits += scan_counts[slot * num_shards + s];
+    for (size_t k = 0; k < stride; ++k) {
+      total_before += scan_before[slot * stride + k];
+      total_after += scan_after[slot * stride + k];
+      hits += scan_counts[slot * stride + k];
     }
     const sim::DeviceSnapshot delta = total_after.Delta(total_before);
     const size_t i = scan_op[slot];
@@ -217,73 +381,162 @@ void ShardedEngine::ExecuteOps(const Op* ops, size_t count,
     r.scan_hits = std::min(ops[i].scan_len, hits);
     results[i] = r;
   }
+
+  if (lifecycle_.hibernate_after_batches != 0) HibernateIdleShards();
 }
 
 void ShardedEngine::FlushMemtable() {
-  for (Shard& shard : shards_) shard.tree->FlushMemtable();
+  // Hibernated shards holding buffered writes wake to flush them; the
+  // rest stay asleep (their flush would be a no-op). Cold shards are
+  // empty by construction.
+  std::vector<size_t> wake;
+  for (size_t s : hibernated_) {
+    if (!shards_[s].frozen->memtable.empty()) wake.push_back(s);
+  }
+  for (size_t s : wake) {
+    MaterializeShard(s);
+    Touch(s);
+  }
+  for (size_t s : resident_) shards_[s].tree->FlushMemtable();
 }
 
 void ShardedEngine::Reconfigure(const lsm::Options& new_total_options) {
   const lsm::Options per_shard =
       ShardOptions(new_total_options, shards_.size());
-  for (Shard& shard : shards_) shard.tree->Reconfigure(per_shard);
+  default_options_ = per_shard;
+  cold_options_.clear();
+  for (size_t s : resident_) shards_[s].tree->Reconfigure(per_shard);
+  for (size_t s : hibernated_) {
+    ReconfigureFrozen(shards_[s].frozen.get(), per_shard,
+                      shards_[s].device->config().block_bytes);
+  }
 }
 
 void ShardedEngine::ReconfigureShard(size_t shard,
                                      const lsm::Options& options) {
   CAMAL_CHECK(shard < shards_.size());
-  shards_[shard].tree->Reconfigure(options);
+  Shard& s = shards_[shard];
+  if (s.tree != nullptr) {
+    s.tree->Reconfigure(options);
+  } else if (s.frozen != nullptr) {
+    ReconfigureFrozen(s.frozen.get(), options,
+                      s.device->config().block_bytes);
+  } else {
+    // Deferred: a cold shard is an empty tree, and reconfiguring an empty
+    // tree is observationally identical to constructing it with the new
+    // options in the first place.
+    cold_options_[shard] = options;
+  }
 }
 
 lsm::Options ShardedEngine::ShardOptionsSnapshot(size_t shard) const {
   CAMAL_CHECK(shard < shards_.size());
-  return shards_[shard].tree->options();
+  const Shard& s = shards_[shard];
+  if (s.tree != nullptr) return s.tree->options();
+  if (s.frozen != nullptr) return s.frozen->options;
+  return EffectiveOptions(shard);
+}
+
+ShardState ShardedEngine::ShardLifecycle(size_t shard) const {
+  CAMAL_CHECK(shard < shards_.size());
+  const Shard& s = shards_[shard];
+  if (s.tree != nullptr) return ShardState::kMaterialized;
+  if (s.frozen != nullptr) return ShardState::kHibernated;
+  return ShardState::kCold;
+}
+
+void ShardedEngine::AppendResidentShards(std::vector<size_t>* out) const {
+  out->insert(out->end(), resident_.begin(), resident_.end());
 }
 
 sim::DeviceSnapshot ShardedEngine::CostSnapshot() const {
+  // Ascending shard order; shards with no device yet have charged nothing
+  // and contribute the same exact zeros their fresh device would.
   sim::DeviceSnapshot total;
-  for (const Shard& shard : shards_) total += shard.device->Snapshot();
+  for (const Shard& shard : shards_) {
+    if (shard.device != nullptr) total += shard.device->Snapshot();
+  }
   return total;
 }
 
 sim::DeviceSnapshot ShardedEngine::ShardCostSnapshot(size_t shard) const {
   CAMAL_CHECK(shard < shards_.size());
+  if (shards_[shard].device == nullptr) return sim::DeviceSnapshot{};
   return shards_[shard].device->Snapshot();
 }
 
 EngineCounters ShardedEngine::AggregateCounters() const {
   EngineCounters total;
-  for (const Shard& shard : shards_) total += shard.tree->counters();
+  for (const Shard& shard : shards_) {
+    if (shard.tree != nullptr) {
+      total += shard.tree->counters();
+    } else if (shard.frozen != nullptr) {
+      total += shard.frozen->counters;
+    }
+  }
   return total;
 }
 
 EngineCounters ShardedEngine::ShardCounters(size_t shard) const {
   CAMAL_CHECK(shard < shards_.size());
-  return shards_[shard].tree->counters();
+  const Shard& s = shards_[shard];
+  if (s.tree != nullptr) return s.tree->counters();
+  if (s.frozen != nullptr) return s.frozen->counters;
+  return EngineCounters{};
 }
 
 uint64_t ShardedEngine::TotalEntries() const {
   uint64_t total = 0;
-  for (const Shard& shard : shards_) total += shard.tree->TotalEntries();
+  for (const Shard& shard : shards_) {
+    if (shard.tree != nullptr) {
+      total += shard.tree->TotalEntries();
+    } else if (shard.frozen != nullptr) {
+      total += shard.frozen->total_entries;
+    }
+  }
   return total;
 }
 
 uint64_t ShardedEngine::DiskEntries() const {
   uint64_t total = 0;
-  for (const Shard& shard : shards_) total += shard.tree->DiskEntries();
+  for (const Shard& shard : shards_) {
+    if (shard.tree != nullptr) {
+      total += shard.tree->DiskEntries();
+    } else if (shard.frozen != nullptr) {
+      total += shard.frozen->disk_entries;
+    }
+  }
   return total;
 }
 
 uint64_t ShardedEngine::ShardEntries(size_t shard) const {
   CAMAL_CHECK(shard < shards_.size());
-  return shards_[shard].tree->TotalEntries();
+  const Shard& s = shards_[shard];
+  if (s.tree != nullptr) return s.tree->TotalEntries();
+  if (s.frozen != nullptr) return s.frozen->total_entries;
+  return 0;
 }
 
 bool ShardedEngine::InTransition() const {
   for (const Shard& shard : shards_) {
-    if (shard.tree->InTransition()) return true;
+    if (shard.tree != nullptr && shard.tree->InTransition()) return true;
+    if (shard.frozen != nullptr && shard.frozen->transition_active) {
+      return true;
+    }
   }
   return false;
+}
+
+lsm::LsmTree* ShardedEngine::shard(size_t i) {
+  CAMAL_CHECK(i < shards_.size());
+  lsm::LsmTree* tree = MaterializeShard(i);
+  Touch(i);
+  return tree;
+}
+
+sim::Device* ShardedEngine::shard_device(size_t i) {
+  CAMAL_CHECK(i < shards_.size());
+  return EnsureDevice(i);
 }
 
 }  // namespace camal::engine

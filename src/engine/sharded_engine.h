@@ -2,7 +2,10 @@
 #define CAMAL_ENGINE_SHARDED_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "engine/storage_engine.h"
@@ -30,17 +33,37 @@ size_t MergeDisjointSlices(const std::vector<std::vector<lsm::Entry>>& slices,
 /// system-wide options is divided evenly across shards.
 ///
 /// Point operations route to `Mix64(key) % N`. `Scan` scatter-gathers: all
-/// shards are range-probed and their sorted slices k-way merged into a
-/// globally sorted result. `Reconfigure` re-divides a new total budget;
-/// `ReconfigureShard` retunes one shard independently (the dynamic tuner's
-/// per-shard path).
+/// data-holding shards are range-probed and their sorted slices k-way
+/// merged into a globally sorted result. `Reconfigure` re-divides a new
+/// total budget; `ReconfigureShard` retunes one shard independently (the
+/// dynamic tuner's per-shard path).
+///
+/// **Shard lifecycle (million-tenant scale).** Shards are lazy by
+/// default: a cold shard holds no memtable, Bloom filters, cache, or
+/// device — just a few pointers — and materializes on the first operation
+/// that touches it. With `ShardLifecycleConfig::hibernate_after_batches`
+/// set, a materialized shard idle for that many `ExecuteOps` batches
+/// freezes its tree into a compact snapshot (`lsm::FrozenTreeState`) and
+/// releases the live structures; the next touching operation rehydrates
+/// it transparently. Both transitions charge nothing and preserve all
+/// state bit-exactly, so logical results, per-op costs, and
+/// `EngineCounters` are identical to an eager engine serving the same
+/// stream:
+///   - a cold shard is observationally an empty tree (empty-tree probes
+///     charge nothing and contribute exact zeros to scan cost sums);
+///   - materialization builds exactly the state eager construction built
+///     (shard i's device seed is a pure function of i);
+///   - freeze/restore round-trips the complete tree state, cache LRU
+///     order and counters included.
 ///
 /// `ExecuteOps` is the async serving path: each batch is partitioned into
-/// per-shard operation lists (a scan probe appears in every shard's list),
-/// the lists run concurrently on `pool()` workers with intra-shard order
-/// preserved, and per-op results are merged back into submission order.
-/// Because every shard owns its device (including its jitter stream), the
-/// results are bit-identical to serial execution at any thread count.
+/// per-shard operation lists (a scan probe appears in every resident
+/// shard's list; scans first wake all hibernated shards), the lists run
+/// concurrently on `pool()` workers with intra-shard order preserved, and
+/// per-op results are merged back into submission order. Partitioning and
+/// all bookkeeping are O(ops + resident), never O(total shards). Because
+/// every shard owns its device (including its jitter stream), the results
+/// are bit-identical to serial execution at any thread count.
 ///
 /// With one shard the engine is bit-identical to driving the tree
 /// directly: shard 0 uses the caller's device config verbatim (including
@@ -52,9 +75,12 @@ class ShardedEngine : public StorageEngine {
   /// `ShardOptions(total_options, num_shards)`. Shard 0's device uses
   /// `device_config` verbatim; shard i > 0 derives an independent jitter
   /// stream from it (seed ⊕ i), so distinct shards never share correlated
-  /// jitter.
+  /// jitter. `lifecycle` controls lazy instantiation and hibernation; the
+  /// default (lazy, no hibernation) is bit-identical to eager
+  /// construction.
   ShardedEngine(size_t num_shards, const lsm::Options& total_options,
-                const sim::DeviceConfig& device_config);
+                const sim::DeviceConfig& device_config,
+                const ShardLifecycleConfig& lifecycle = {});
 
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
@@ -74,16 +100,24 @@ class ShardedEngine : public StorageEngine {
   void FlushMemtable() override;
 
   /// Divides `new_total_options`'s memory budget across shards and
-  /// reconfigures every shard lazily.
+  /// reconfigures every shard lazily. Hibernated shards wake to apply it;
+  /// cold shards record it as their materialization target.
   void Reconfigure(const lsm::Options& new_total_options) override;
 
-  /// Applies `options` to one shard as-is (shard-local budget).
+  /// Applies `options` to one shard as-is (shard-local budget). A
+  /// hibernated shard wakes; a cold shard stays cold and materializes
+  /// with `options` later (deferred reconfiguration of an empty tree is
+  /// observationally identical to applying it now).
   void ReconfigureShard(size_t shard, const lsm::Options& options) override;
 
   size_t NumShards() const override { return shards_.size(); }
   size_t ShardIndex(uint64_t key) const override;
 
   lsm::Options ShardOptionsSnapshot(size_t shard) const override;
+
+  ShardState ShardLifecycle(size_t shard) const override;
+  size_t MaterializedShards() const override { return resident_.size(); }
+  void AppendResidentShards(std::vector<size_t>* out) const override;
 
   sim::DeviceSnapshot CostSnapshot() const override;
   sim::DeviceSnapshot ShardCostSnapshot(size_t shard) const override;
@@ -101,10 +135,10 @@ class ShardedEngine : public StorageEngine {
   void set_pool(util::ThreadPool* pool) { pool_ = pool; }
   util::ThreadPool* pool() const { return pool_; }
 
-  /// Direct shard access (tests, per-shard inspection).
-  lsm::LsmTree* shard(size_t i) { return shards_[i].tree.get(); }
-  const lsm::LsmTree* shard(size_t i) const { return shards_[i].tree.get(); }
-  sim::Device* shard_device(size_t i) { return shards_[i].device.get(); }
+  /// Direct shard access (tests, per-shard inspection). Materializes the
+  /// shard (waking it if hibernated) — access implies intent to touch.
+  lsm::LsmTree* shard(size_t i);
+  sim::Device* shard_device(size_t i);
 
   /// The per-shard slice of a total configuration: buffer, Bloom, and
   /// block-cache budgets divided by `num_shards` (shape knobs unchanged).
@@ -114,16 +148,54 @@ class ShardedEngine : public StorageEngine {
 
  private:
   struct Shard {
-    std::unique_ptr<sim::Device> device;
-    std::unique_ptr<lsm::LsmTree> tree;
+    std::unique_ptr<sim::Device> device;           // survives hibernation
+    std::unique_ptr<lsm::LsmTree> tree;            // iff materialized
+    std::unique_ptr<lsm::FrozenTreeState> frozen;  // iff hibernated
+    uint64_t last_touch_epoch = ~uint64_t{0};      // sentinel: never touched
   };
 
-  /// Range-probes every shard concurrently; slices[s] receives shard s's
-  /// up-to-max_entries sorted live entries with key >= start_key.
-  void ScatterScan(uint64_t start_key, size_t max_entries,
+  /// The options shard `s` materializes (or rehydrates) with.
+  const lsm::Options& EffectiveOptions(size_t s) const;
+
+  sim::Device* EnsureDevice(size_t s);
+
+  /// Brings shard `s` to the materialized state (create cold / wake
+  /// hibernated); returns its live tree.
+  lsm::LsmTree* MaterializeShard(size_t s);
+
+  /// Freezes shard `s`'s tree into its compact snapshot and releases the
+  /// live structures (device stays: its jitter stream is mid-sequence).
+  void HibernateShard(size_t s);
+
+  /// Wakes every hibernated shard (scans: their data must be probed).
+  void WakeAllHibernated();
+
+  /// Marks shard `s` active this batch and arms its idle timer.
+  void Touch(size_t s);
+
+  /// Hibernates shards whose idle timers expired.
+  void HibernateIdleShards();
+
+  /// Range-probes every resident shard concurrently; slices[k] receives
+  /// probed shard k's up-to-max_entries sorted live entries.
+  void ScatterScan(const std::vector<size_t>& probed, uint64_t start_key,
+                   size_t max_entries,
                    std::vector<std::vector<lsm::Entry>>* slices);
 
   std::vector<Shard> shards_;
+  lsm::Options default_options_;
+  sim::DeviceConfig device_config_;
+  ShardLifecycleConfig lifecycle_;
+  /// Options applied to a shard while cold, pending materialization.
+  std::map<size_t, lsm::Options> cold_options_;
+  /// Materialized shard ids, ascending (scan probe order).
+  std::set<size_t> resident_;
+  /// Hibernated shard ids (O(hibernated) wake-all, not O(total)).
+  std::set<size_t> hibernated_;
+  /// Idle tracking: (shard, touch epoch) entries with lazy deletion; a
+  /// shard hibernates when its newest entry expires untouched.
+  std::deque<std::pair<size_t, uint64_t>> idle_queue_;
+  uint64_t epoch_ = 0;
   util::ThreadPool* pool_ = nullptr;
 };
 

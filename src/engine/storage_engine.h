@@ -54,6 +54,34 @@ struct ShardBudget {
   }
 };
 
+/// Lifecycle state of one shard in an engine with lazy instantiation.
+/// Cold shards have never been touched and hold no in-memory structures;
+/// materialized shards are live; hibernated shards released their
+/// in-memory structures into a frozen snapshot and rehydrate
+/// transparently on the next operation that touches them.
+enum class ShardState : uint8_t {
+  kCold,
+  kMaterialized,
+  kHibernated,
+};
+
+/// Shard-lifecycle knobs shared by the engines that support lazy
+/// instantiation (`ShardedEngine`, `FileEngine`). The defaults — lazy on,
+/// hibernation off — are bit-identical to the historical eager engines:
+/// cold shards are observationally empty, and materializing one on first
+/// touch reproduces exactly the state eager construction would have
+/// produced.
+struct ShardLifecycleConfig {
+  /// Defer shard instantiation to the first operation that touches the
+  /// shard. Off forces eager construction of every shard (the historical
+  /// behavior, useful for A/B golden tests).
+  bool lazy = true;
+  /// Hibernate a materialized shard after it has sat idle for this many
+  /// `ExecuteOps` batches (its frozen snapshot preserves all state
+  /// bit-exactly). 0 disables hibernation.
+  size_t hibernate_after_batches = 0;
+};
+
 /// The operation kinds of the batched request pipeline. The workload layer
 /// distinguishes zero- from non-zero-result lookups when it *generates*
 /// operations; by the time an op reaches the engine both are a `kGet`.
@@ -190,6 +218,25 @@ class StorageEngine {
   virtual void ReconfigureShard(size_t shard, const lsm::Options& options) {
     CAMAL_CHECK(shard == 0);
     Reconfigure(options);
+  }
+
+  /// Lifecycle state of one shard. Eagerly constructed engines report
+  /// every shard as materialized (the default).
+  virtual ShardState ShardLifecycle(size_t shard) const {
+    CAMAL_CHECK(shard < NumShards());
+    return ShardState::kMaterialized;
+  }
+
+  /// Number of shards currently holding in-memory structures (cold and
+  /// hibernated shards excluded). Equals `NumShards()` for eager engines.
+  virtual size_t MaterializedShards() const { return NumShards(); }
+
+  /// Appends the indices of all materialized shards, ascending — the
+  /// active set a per-window pass (e.g. the memory arbiter's scan
+  /// accounting) should visit instead of iterating every shard. Eager
+  /// engines append every shard.
+  virtual void AppendResidentShards(std::vector<size_t>* out) const {
+    for (size_t s = 0; s < NumShards(); ++s) out->push_back(s);
   }
 
   /// Live configuration one shard currently runs with (budgets are

@@ -41,6 +41,27 @@ void BlockCache::Clear() {
   map_.clear();
 }
 
+BlockCache::FrozenState BlockCache::Freeze() {
+  FrozenState state;
+  state.capacity = capacity_;
+  state.keys_mru_to_lru.assign(lru_.begin(), lru_.end());
+  state.hits = hits_;
+  state.misses = misses_;
+  Clear();
+  return state;
+}
+
+void BlockCache::Restore(const FrozenState& state) {
+  Clear();
+  capacity_ = state.capacity;
+  hits_ = state.hits;
+  misses_ = state.misses;
+  for (uint64_t key : state.keys_mru_to_lru) {
+    lru_.push_back(key);
+    map_[key] = std::prev(lru_.end());
+  }
+}
+
 void BlockCache::EvictToCapacity() {
   while (map_.size() > capacity_) {
     map_.erase(lru_.back());

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 namespace camal::lsm {
 
@@ -43,6 +44,22 @@ class BlockCache {
   uint64_t size() const { return map_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+
+  /// Complete cache state in a compact form: capacity, the resident keys
+  /// in MRU-to-LRU order, and the hit/miss counters. Restoring it
+  /// reproduces every future lookup/insert/eviction decision exactly.
+  struct FrozenState {
+    uint64_t capacity = 0;
+    std::vector<uint64_t> keys_mru_to_lru;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  /// Exports the current state and clears the cache (shard hibernation).
+  FrozenState Freeze();
+
+  /// Replaces the current state with `state` (shard wake-up).
+  void Restore(const FrozenState& state);
 
  private:
   void EvictToCapacity();

@@ -33,6 +33,23 @@ class BloomFilter {
   /// Expected false-positive rate exp(-bpk * ln^2 2), clamped to [~0, 1].
   double TheoreticalFpr() const;
 
+  // Serialization surface (shard hibernation snapshots): raw internal
+  // state, enough to reconstruct a filter that answers every probe
+  // identically.
+  const std::vector<uint64_t>& words() const { return words_; }
+  int num_hashes() const { return num_hashes_; }
+
+  /// Reconstructs a filter from previously exported internals.
+  static BloomFilter FromParts(std::vector<uint64_t> words, size_t num_bits,
+                               int num_hashes, double bits_per_key) {
+    BloomFilter f;
+    f.words_ = std::move(words);
+    f.num_bits_ = num_bits;
+    f.num_hashes_ = num_hashes;
+    f.bits_per_key_ = bits_per_key;
+    return f;
+  }
+
  private:
   std::vector<uint64_t> words_;
   size_t num_bits_ = 0;

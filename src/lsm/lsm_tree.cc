@@ -20,6 +20,32 @@ LsmTree::LsmTree(const Options& options, sim::Device* device)
   CAMAL_CHECK(options.Validate().ok());
 }
 
+LsmTree::LsmTree(FrozenTreeState state, sim::Device* device)
+    : options_(state.options),
+      device_(device),
+      cache_(0),
+      levels_(std::move(state.levels)),
+      counters_(state.counters),
+      next_run_id_(state.next_run_id),
+      transition_active_(state.transition_active) {
+  memtable_.LoadSorted(state.memtable);
+  cache_.Restore(state.cache);
+}
+
+std::unique_ptr<FrozenTreeState> LsmTree::Freeze() {
+  auto state = std::make_unique<FrozenTreeState>();
+  state->total_entries = TotalEntries();
+  state->disk_entries = DiskEntries();
+  state->options = options_;
+  state->memtable = memtable_.DrainSorted();
+  state->levels = std::move(levels_);
+  state->counters = counters_;
+  state->cache = cache_.Freeze();
+  state->next_run_id = next_run_id_;
+  state->transition_active = transition_active_;
+  return state;
+}
+
 void LsmTree::Put(uint64_t key, uint64_t value) {
   memtable_.Put(key, value, /*tombstone=*/false, device_);
   if (memtable_.size() >= options_.BufferEntries()) FlushMemtable();

@@ -2,6 +2,7 @@
 #define CAMAL_LSM_LSM_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "engine/storage_engine.h"
@@ -19,6 +20,26 @@ namespace camal::lsm {
 /// single-tree view of the engine-level counters.
 using TreeCounters = engine::EngineCounters;
 
+/// A hibernated tree: the complete logical state of an `LsmTree` in a
+/// compact, memtable-free form. `Freeze` produces it without charging the
+/// device; the restoring constructor rebuilds a tree that behaves
+/// bit-identically to one that was never frozen. The run data (`levels`)
+/// is carried by reference-counted immutable runs — the simulated "disk"
+/// — while the memtable collapses from a `std::map` into a sorted vector.
+struct FrozenTreeState {
+  Options options;
+  std::vector<Entry> memtable;  // sorted by key, tombstones included
+  Levels levels;
+  TreeCounters counters;
+  BlockCache::FrozenState cache;
+  uint64_t next_run_id = 1;
+  bool transition_active = false;
+  // Cached aggregates so hibernated shards answer size queries without
+  // rehydrating.
+  uint64_t total_entries = 0;
+  uint64_t disk_entries = 0;
+};
+
 /// A log-structured merge tree over a simulated device.
 ///
 /// Supports both compaction policies from the paper, Monkey-allocated Bloom
@@ -34,6 +55,18 @@ class LsmTree : public engine::StorageEngine {
  public:
   /// `device` must outlive the tree; all simulated cost is charged there.
   LsmTree(const Options& options, sim::Device* device);
+
+  /// Rehydrates a tree from a frozen snapshot (shard wake-up). Charges
+  /// nothing on `device`; the restored tree is bit-identical — logical
+  /// contents, counters, cache state, future cost charges — to the tree
+  /// `Freeze` consumed.
+  LsmTree(FrozenTreeState state, sim::Device* device);
+
+  /// Destructively exports the tree's complete state (shard hibernation):
+  /// the memtable drains into a sorted vector, the levels and cache state
+  /// move out, and the husk is left empty (callers destroy it). Charges
+  /// nothing on the device.
+  std::unique_ptr<FrozenTreeState> Freeze();
 
   LsmTree(const LsmTree&) = delete;
   LsmTree& operator=(const LsmTree&) = delete;

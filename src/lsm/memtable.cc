@@ -29,6 +29,11 @@ std::vector<Entry> Memtable::DrainSorted() {
   return out;
 }
 
+void Memtable::LoadSorted(const std::vector<Entry>& entries) {
+  table_.clear();
+  for (const Entry& e : entries) table_.emplace_hint(table_.end(), e.key, e);
+}
+
 void Memtable::CollectFrom(uint64_t start_key, size_t max_entries,
                            std::vector<Entry>* out) const {
   for (auto it = table_.lower_bound(start_key);

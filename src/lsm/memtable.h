@@ -29,6 +29,11 @@ class Memtable {
   /// Removes and returns all entries in key order.
   std::vector<Entry> DrainSorted();
 
+  /// Rebuilds the table from `entries` (sorted by key, as produced by
+  /// `DrainSorted`), charging nothing: the restore half of shard
+  /// hibernation, which must leave all cost clocks untouched.
+  void LoadSorted(const std::vector<Entry>& entries);
+
   /// Appends buffered entries with key in [start_key, +inf), in key order,
   /// up to `max_entries`, into `out` (used by range scans; the caller merges
   /// with on-disk runs).

@@ -36,27 +36,41 @@ bool Gateway::TokenBucket::TryTake(uint64_t now_ns) {
 }
 
 Gateway::Gateway(engine::StorageEngine* engine, const GatewayConfig& config)
-    : engine_(engine), config_(config) {
+    : engine_(engine), config_(config), tenants_(config.num_tenants) {
   CAMAL_CHECK(engine != nullptr);
   CAMAL_CHECK(config_.num_tenants >= 1);
   CAMAL_CHECK(config_.batch_ops >= 1);
   CAMAL_CHECK(!config_.admission_control || config_.max_queue_depth >= 1);
-  tenants_.reserve(config_.num_tenants);
-  for (size_t t = 0; t < config_.num_tenants; ++t) {
-    auto tenant = std::make_unique<Tenant>();
-    if (config_.rate_limit_ops_per_sec > 0.0) {
-      tenant->bucket.ns_per_token = std::max<uint64_t>(
-          1, static_cast<uint64_t>(1e9 / config_.rate_limit_ops_per_sec + 0.5));
-      tenant->bucket.cap_ns =
-          std::max<uint64_t>(1, config_.rate_limit_burst) *
-          tenant->bucket.ns_per_token;
-      tenant->bucket.credit_ns = tenant->bucket.cap_ns;  // start full
-    }
-    tenants_.push_back(std::move(tenant));
+  if (config_.rate_limit_ops_per_sec > 0.0) {
+    bucket_ns_per_token_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(1e9 / config_.rate_limit_ops_per_sec + 0.5));
+    bucket_cap_ns_ = std::max<uint64_t>(1, config_.rate_limit_burst) *
+                     bucket_ns_per_token_;
   }
   batch_ops_.reserve(config_.batch_ops);
   batch_meta_.reserve(config_.batch_ops);
   batch_tenants_.reserve(config_.batch_ops);
+}
+
+Gateway::~Gateway() {
+  for (auto& slot : tenants_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+Gateway::Tenant& Gateway::EnsureTenant(uint32_t tenant) {
+  Tenant* live = tenants_[tenant].load(std::memory_order_acquire);
+  if (live != nullptr) return *live;
+  auto fresh = std::make_unique<Tenant>();
+  fresh->bucket.ns_per_token = bucket_ns_per_token_;
+  fresh->bucket.cap_ns = bucket_cap_ns_;
+  fresh->bucket.credit_ns = bucket_cap_ns_;  // start full
+  Tenant* expected = nullptr;
+  if (tenants_[tenant].compare_exchange_strong(expected, fresh.get(),
+                                               std::memory_order_acq_rel)) {
+    return *fresh.release();
+  }
+  return *expected;  // another producer won the race
 }
 
 SubmitResult Gateway::Submit(uint32_t tenant, const engine::Op& op,
@@ -68,7 +82,7 @@ SubmitResult Gateway::Submit(uint32_t tenant, const engine::Op& op,
   // `arrival_ns`, not at the last dispatch.
   TryPump();
 
-  Tenant& t = *tenants_[tenant];
+  Tenant& t = EnsureTenant(tenant);
   SubmitResult out;
   {
     std::lock_guard<std::mutex> lock(t.mu);
@@ -83,9 +97,14 @@ SubmitResult Gateway::Submit(uint32_t tenant, const engine::Op& op,
     } else {
       out.status = AdmitStatus::kAdmitted;
       out.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      const bool was_empty = t.queue.empty();
       t.queue.push_back(PendingRequest{op, out.id, arrival_ns});
       ++t.counters.admitted;
       total_pending_.fetch_add(1, std::memory_order_relaxed);
+      if (was_empty) {
+        std::lock_guard<std::mutex> mark(nonempty_mu_);
+        nonempty_.insert(tenant);
+      }
     }
     out.queue_depth = t.queue.size();
     t.counters.max_queue_depth =
@@ -129,13 +148,23 @@ void Gateway::PumpLocked(double now_ns) {
 bool Gateway::DispatchOne(double now_ns) {
   if (total_pending_.load(std::memory_order_relaxed) == 0) return false;
 
+  // Sweep only tenants with (possibly) nonempty queues — O(active), not
+  // O(configured tenants).
+  sweep_scratch_.clear();
+  {
+    std::lock_guard<std::mutex> lock(nonempty_mu_);
+    sweep_scratch_.assign(nonempty_.begin(), nonempty_.end());
+  }
+  if (sweep_scratch_.empty()) return false;
+
   // The next batch starts when the engine is free and its oldest eligible
   // op has arrived.
   uint64_t earliest = std::numeric_limits<uint64_t>::max();
-  for (const auto& tenant : tenants_) {
-    std::lock_guard<std::mutex> lock(tenant->mu);
-    if (!tenant->queue.empty()) {
-      earliest = std::min(earliest, tenant->queue.front().arrival_ns);
+  for (size_t idx : sweep_scratch_) {
+    Tenant& t = *LiveTenant(static_cast<uint32_t>(idx));
+    std::lock_guard<std::mutex> lock(t.mu);
+    if (!t.queue.empty()) {
+      earliest = std::min(earliest, t.queue.front().arrival_ns);
     }
   }
   if (earliest == std::numeric_limits<uint64_t>::max()) return false;
@@ -145,18 +174,24 @@ bool Gateway::DispatchOne(double now_ns) {
 
   // Coalesce: round-robin one op per tenant per sweep, taking only ops
   // that had arrived by the batch's start (causality — an op cannot join
-  // a batch that began before it existed).
+  // a batch that began before it existed). The sweep walks the nonempty
+  // tenants in the same cyclic tenant order the dense walk used: ascending
+  // ids starting at the cursor, wrapping.
   batch_ops_.clear();
   batch_meta_.clear();
   batch_tenants_.clear();
-  const size_t num_tenants = tenants_.size();
+  const size_t num_active = sweep_scratch_.size();
+  const size_t first =
+      std::lower_bound(sweep_scratch_.begin(), sweep_scratch_.end(),
+                       rr_cursor_) -
+      sweep_scratch_.begin();
   bool progress = true;
   while (batch_ops_.size() < config_.batch_ops && progress) {
     progress = false;
     for (size_t i = 0;
-         i < num_tenants && batch_ops_.size() < config_.batch_ops; ++i) {
-      const size_t idx = (rr_cursor_ + i) % num_tenants;
-      Tenant& t = *tenants_[idx];
+         i < num_active && batch_ops_.size() < config_.batch_ops; ++i) {
+      const size_t idx = sweep_scratch_[(first + i) % num_active];
+      Tenant& t = *LiveTenant(static_cast<uint32_t>(idx));
       std::lock_guard<std::mutex> lock(t.mu);
       if (!t.queue.empty() &&
           static_cast<double>(t.queue.front().arrival_ns) <= start_ns) {
@@ -167,17 +202,35 @@ bool Gateway::DispatchOne(double now_ns) {
         total_pending_.fetch_sub(1, std::memory_order_relaxed);
         progress = true;
       }
+      if (t.queue.empty()) {
+        std::lock_guard<std::mutex> mark(nonempty_mu_);
+        nonempty_.erase(idx);
+      }
     }
   }
-  rr_cursor_ = (rr_cursor_ + 1) % num_tenants;
+  rr_cursor_ = (rr_cursor_ + 1) % tenants_.size();
   if (batch_ops_.empty()) return false;
 
-  // Per-shard cost clocks around the dispatch, for the observer's deltas.
+  // Observer cost attribution: remember the pre-batch clock of every
+  // resident shard not yet observed, so the post-batch pass can compute
+  // exact per-batch deltas touching only resident shards. Shards that
+  // materialize from cold mid-batch start at clock zero, and a shard's
+  // clock never advances while it is cold or hibernated, so the sparse
+  // bookkeeping reproduces the dense before/after subtraction.
   const size_t num_shards = engine_->NumShards();
   if (observer_ != nullptr) {
-    shard_cost_scratch_.assign(num_shards, 0.0);
-    for (size_t s = 0; s < num_shards; ++s) {
-      shard_cost_scratch_[s] = -engine_->ShardCostSnapshot(s).elapsed_ns;
+    if (shard_cost_scratch_.size() != num_shards) {
+      shard_cost_scratch_.assign(num_shards, 0.0);
+      last_shard_cost_.assign(num_shards, 0.0);
+      cost_seen_.assign(num_shards, 0);
+      prev_cost_shards_.clear();
+    }
+    resident_scratch_.clear();
+    engine_->AppendResidentShards(&resident_scratch_);
+    for (size_t s : resident_scratch_) {
+      if (cost_seen_[s]) continue;
+      last_shard_cost_[s] = engine_->ShardCostSnapshot(s).elapsed_ns;
+      cost_seen_[s] = 1;
     }
   }
 
@@ -212,13 +265,35 @@ bool Gateway::DispatchOne(double now_ns) {
   ++stats_.batches;
 
   if (observer_ != nullptr) {
-    for (size_t s = 0; s < num_shards; ++s) {
-      shard_cost_scratch_[s] += engine_->ShardCostSnapshot(s).elapsed_ns;
+    // Dense delta buffer, sparse upkeep: zero the slots the previous
+    // batch wrote, then write this batch's deltas over the (possibly
+    // grown) resident set.
+    for (size_t s : prev_cost_shards_) shard_cost_scratch_[s] = 0.0;
+    resident_scratch_.clear();
+    engine_->AppendResidentShards(&resident_scratch_);
+    for (size_t s : resident_scratch_) {
+      const double now = engine_->ShardCostSnapshot(s).elapsed_ns;
+      shard_cost_scratch_[s] = now - last_shard_cost_[s];
+      last_shard_cost_[s] = now;
+      cost_seen_[s] = 1;
     }
-    depths_scratch_.clear();
-    for (const auto& tenant : tenants_) {
-      std::lock_guard<std::mutex> lock(tenant->mu);
-      depths_scratch_.push_back(tenant->queue.size());
+    prev_cost_shards_.swap(resident_scratch_);
+
+    // Same pattern for queue depths: only nonempty tenants can report a
+    // nonzero depth, so refresh those slots and zero last batch's.
+    if (depths_scratch_.size() != tenants_.size()) {
+      depths_scratch_.assign(tenants_.size(), 0);
+      prev_depth_tenants_.clear();
+    }
+    for (size_t idx : prev_depth_tenants_) depths_scratch_[idx] = 0;
+    {
+      std::lock_guard<std::mutex> lock(nonempty_mu_);
+      prev_depth_tenants_.assign(nonempty_.begin(), nonempty_.end());
+    }
+    for (size_t idx : prev_depth_tenants_) {
+      Tenant& t = *LiveTenant(static_cast<uint32_t>(idx));
+      std::lock_guard<std::mutex> lock(t.mu);
+      depths_scratch_[idx] = t.queue.size();
     }
     workload::BatchEvent event;
     event.batch_index = batch_index_;
@@ -248,8 +323,10 @@ size_t Gateway::PollCompletions(std::vector<Completion>* out) {
 
 size_t Gateway::QueueDepth(uint32_t tenant) const {
   CAMAL_CHECK(tenant < tenants_.size());
-  std::lock_guard<std::mutex> lock(tenants_[tenant]->mu);
-  return tenants_[tenant]->queue.size();
+  const Tenant* t = LiveTenant(tenant);
+  if (t == nullptr) return 0;  // never submitted
+  std::lock_guard<std::mutex> lock(t->mu);
+  return t->queue.size();
 }
 
 double Gateway::engine_free_ns() const {
@@ -264,23 +341,28 @@ GatewayStats Gateway::StatsSnapshot() const {
     out = stats_;
   }
   // Admission accounting lives tenant-local (the submit path never takes
-  // the dispatch mutex); aggregate it here.
-  for (const auto& tenant : tenants_) {
-    std::lock_guard<std::mutex> lock(tenant->mu);
-    out.submitted += tenant->counters.submitted;
-    out.admitted += tenant->counters.admitted;
-    out.shed_queue += tenant->counters.shed_queue;
-    out.shed_rate_limited += tenant->counters.shed_rate_limited;
+  // the dispatch mutex); aggregate it here over materialized tenants —
+  // a never-submitting tenant has all-zero counters by definition.
+  for (const auto& slot : tenants_) {
+    const Tenant* t = slot.load(std::memory_order_acquire);
+    if (t == nullptr) continue;
+    std::lock_guard<std::mutex> lock(t->mu);
+    out.submitted += t->counters.submitted;
+    out.admitted += t->counters.admitted;
+    out.shed_queue += t->counters.shed_queue;
+    out.shed_rate_limited += t->counters.shed_rate_limited;
     out.max_queue_depth =
-        std::max(out.max_queue_depth, tenant->counters.max_queue_depth);
+        std::max(out.max_queue_depth, t->counters.max_queue_depth);
   }
   return out;
 }
 
 TenantCounters Gateway::TenantStats(uint32_t tenant) const {
   CAMAL_CHECK(tenant < tenants_.size());
-  std::lock_guard<std::mutex> lock(tenants_[tenant]->mu);
-  return tenants_[tenant]->counters;
+  const Tenant* t = LiveTenant(tenant);
+  if (t == nullptr) return TenantCounters{};  // never submitted
+  std::lock_guard<std::mutex> lock(t->mu);
+  return t->counters;
 }
 
 }  // namespace camal::serve

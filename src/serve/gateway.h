@@ -7,6 +7,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "engine/storage_engine.h"
@@ -142,6 +143,14 @@ struct TenantCounters {
 /// bound. A shed request is counted and reported (`kRejected*`) and
 /// never reaches the engine — no queue slot, no engine op, no I/O.
 ///
+/// **Scale.** Tenant state is lazy: a tenant that never submitted holds
+/// one null pointer, and its queue/bucket/counters materialize on first
+/// `Submit` (so `num_tenants` in the millions costs pointers, not
+/// queues). Dispatch tracks the set of nonempty queues and sweeps only
+/// those, and the observer's per-shard cost deltas are computed over the
+/// engine's resident shards — per-batch work is O(active tenants +
+/// resident shards), never O(configured totals).
+///
 /// **Threading.** Queues are finely locked MPSC: each tenant has its own
 /// mutex, so concurrent producers of different tenants never contend.
 /// Dispatch (engine access, the virtual clock, completions, stats) is
@@ -154,6 +163,7 @@ class Gateway {
   /// `engine` is borrowed, not owned, and must outlive the gateway. The
   /// caller must not drive the engine while the gateway serves it.
   Gateway(engine::StorageEngine* engine, const GatewayConfig& config);
+  ~Gateway();
 
   Gateway(const Gateway&) = delete;
   Gateway& operator=(const Gateway&) = delete;
@@ -229,6 +239,14 @@ class Gateway {
     TenantCounters counters;
   };
 
+  /// The tenant's live state, or null while it has never submitted.
+  Tenant* LiveTenant(uint32_t tenant) const {
+    return tenants_[tenant].load(std::memory_order_acquire);
+  }
+
+  /// Materializes (first submit) or returns the tenant's live state.
+  Tenant& EnsureTenant(uint32_t tenant);
+
   /// Non-blocking pump: dispatches when the dispatch mutex is free,
   /// otherwise leaves the work to whoever holds it.
   void TryPump();
@@ -243,7 +261,18 @@ class Gateway {
 
   engine::StorageEngine* engine_;
   GatewayConfig config_;
-  std::vector<std::unique_ptr<Tenant>> tenants_;
+  /// Lazily materialized tenant slots (null = tenant never submitted).
+  /// Slots are created with a CAS and never destroyed before the gateway.
+  std::vector<std::atomic<Tenant*>> tenants_;
+  /// Token-bucket parameters every materializing tenant starts with.
+  uint64_t bucket_ns_per_token_ = 0;
+  uint64_t bucket_cap_ns_ = 0;
+
+  /// Tenants whose queues are (possibly) nonempty — dispatch sweeps only
+  /// these. Transitions happen under the owning tenant's mutex (lock
+  /// order: tenant mu, then nonempty_mu_).
+  mutable std::mutex nonempty_mu_;
+  std::set<size_t> nonempty_;
 
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> max_arrival_ns_{0};
@@ -261,8 +290,17 @@ class Gateway {
   std::vector<engine::OpResult> batch_results_;
   std::vector<PendingRequest> batch_meta_;
   std::vector<uint32_t> batch_tenants_;
+  std::vector<size_t> sweep_scratch_;
   std::vector<uint64_t> depths_scratch_;
+  std::vector<size_t> prev_depth_tenants_;
+  // Observer cost attribution: dense delta buffer with sparse upkeep —
+  // only resident shards are visited per batch; stale slots from the
+  // previous batch are zeroed by index.
   std::vector<double> shard_cost_scratch_;
+  std::vector<double> last_shard_cost_;
+  std::vector<uint8_t> cost_seen_;
+  std::vector<size_t> prev_cost_shards_;
+  std::vector<size_t> resident_scratch_;
 
   workload::BatchObserver* observer_ = nullptr;
 };

@@ -1,26 +1,65 @@
 #include "util/zipf.h"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 
 #include "util/status.h"
 
 namespace camal::util {
 
 namespace {
-double Zeta(uint64_t n, double theta) {
-  double sum = 0.0;
-  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+
+/// Memoized harmonic-sum state for one theta: checkpoints of
+/// sum_{i=1..n} 1/i^theta at every n a caller has requested. Resuming the
+/// loop from the largest checkpoint <= n executes exactly the same
+/// floating-point additions, in the same order, as a fresh 1..n loop —
+/// so cached and uncached constructions are bitwise identical and the
+/// cache never affects results, only construction cost.
+struct ZetaSeries {
+  std::map<uint64_t, double> checkpoints;  // n -> zeta(n, theta)
+};
+
+double ZetaTail(uint64_t from, uint64_t to, double theta, double sum) {
+  for (uint64_t i = from; i <= to; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
   return sum;
 }
+
 }  // namespace
+
+double HarmonicZeta(uint64_t n, double theta) {
+  // Keyed by the exact double bits of theta; workloads use a handful of
+  // skew values, so the map stays tiny.
+  static std::mutex mu;
+  static std::map<double, ZetaSeries>* series = new std::map<double, ZetaSeries>();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ZetaSeries& s = (*series)[theta];
+  uint64_t from = 1;
+  double sum = 0.0;
+  // Largest checkpoint at or below n (the incremental-extension point).
+  auto it = s.checkpoints.upper_bound(n);
+  if (it != s.checkpoints.begin()) {
+    --it;
+    from = it->first + 1;
+    sum = it->second;
+  }
+  if (from <= n) {
+    sum = ZetaTail(from, n, theta, sum);
+    s.checkpoints[n] = sum;
+  }
+  return sum;
+}
 
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
   CAMAL_CHECK(n > 0);
   CAMAL_CHECK(theta >= 0.0 && theta < 1.0);
   if (theta_ > 0.0) {
     alpha_ = 1.0 / (1.0 - theta_);
-    zetan_ = Zeta(n_, theta_);
-    zeta2_ = Zeta(2, theta_);
+    zetan_ = HarmonicZeta(n_, theta_);
+    zeta2_ = HarmonicZeta(2, theta_);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
            (1.0 - zeta2_ / zetan_);
   }

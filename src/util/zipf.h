@@ -7,6 +7,14 @@
 
 namespace camal::util {
 
+/// Harmonic normalizer sum_{i=1..n} 1/i^theta, memoized per theta with
+/// incremental extension: asking for a larger n resumes the summation
+/// loop from the largest previously computed checkpoint instead of
+/// restarting at 1. The resumed loop performs the identical
+/// floating-point operation sequence as a fresh one, so results are
+/// bitwise independent of cache state. Thread-safe.
+double HarmonicZeta(uint64_t n, double theta);
+
 /// Zipfian rank sampler over {0, .., n-1} with skew coefficient theta,
 /// following the rejection-inversion style used by YCSB (Gray et al.).
 ///

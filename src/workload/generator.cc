@@ -34,16 +34,12 @@ OperationGenerator::OperationGenerator(const model::WorkloadSpec& spec,
                                        KeySpace* keys,
                                        const GeneratorConfig& config,
                                        uint64_t seed)
-    : spec_(spec.Normalized()), keys_(keys), config_(config), rng_(seed) {
-  if (ShardBiasActive()) {
-    // Zipf weights over shard index, scaled so the hottest shard always
-    // accepts: shard s keeps a draw with probability (1/(s+1))^skew.
-    shard_accept_.resize(config_.num_shards);
-    for (size_t s = 0; s < config_.num_shards; ++s) {
-      shard_accept_[s] =
-          std::pow(1.0 / static_cast<double>(s + 1), config_.shard_skew);
-    }
-  }
+    : spec_(spec.Normalized()), keys_(keys), config_(config), rng_(seed) {}
+
+double OperationGenerator::ShardAccept(size_t shard) const {
+  // Zipf weights over shard index, scaled so the hottest shard always
+  // accepts: shard s keeps a draw with probability (1/(s+1))^skew.
+  return std::pow(1.0 / static_cast<double>(shard + 1), config_.shard_skew);
 }
 
 template <typename Redraw>
@@ -56,7 +52,7 @@ uint64_t OperationGenerator::RejectionSample(uint64_t key, Redraw redraw) {
   for (int i = 0; i < kMaxRedraws; ++i) {
     const size_t shard =
         static_cast<size_t>(util::Mix64(key) % config_.num_shards);
-    const double accept = shard_accept_[shard];
+    const double accept = ShardAccept(shard);
     if (accept >= 1.0 || rng_.NextDouble() < accept) break;
     key = redraw();
   }

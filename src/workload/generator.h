@@ -105,14 +105,17 @@ class OperationGenerator {
 
   model::WorkloadSpec spec_;
   KeySpace* keys_;
+  /// Acceptance probability of shard `shard` (hottest shard = 1):
+  /// (1/(shard+1))^shard_skew, computed inline — a precomputed table
+  /// would cost O(num_shards) memory per generator (8 MB at a million
+  /// tenants) for a value `pow` produces bit-identically on demand.
+  double ShardAccept(size_t shard) const;
+
   GeneratorConfig config_;
   util::Random rng_;
   std::unique_ptr<util::ZipfGenerator> zipf_;
   uint64_t zipf_domain_ = 0;
   uint64_t next_value_ = 1;
-  /// Per-shard acceptance probabilities (hottest shard = 1), built once
-  /// from (shard_skew, num_shards).
-  std::vector<double> shard_accept_;
 };
 
 }  // namespace camal::workload

@@ -288,5 +288,171 @@ TEST(MemoryArbiterTest, ComposesWithDynamicTunerRetunes) {
   EXPECT_EQ(std::get<3>(a), std::get<3>(b));
 }
 
+TEST(MemoryArbiterTest, ZeroActivityWindowIsAnExactNoOp) {
+  // Million-tenant regime, sparse traffic: a window in which no shard saw
+  // an operation must move nothing, reconfigure nothing, touch no engine
+  // shard (an all-cold engine stays all-cold), and leave every budget at
+  // exactly the even share with the total conserved to the bit.
+  SystemSetup setup;
+  setup.num_entries = 8000;
+  setup.total_memory_bits = 64 * 32000;  // even share matches MediumSetup/4
+  engine::ShardedEngine eng(64, MonkeyDefaultConfig(setup).ToOptions(setup),
+                            setup.MakeDeviceConfig());
+  ASSERT_EQ(eng.MaterializedShards(), 0u);
+
+  ArbiterOptions opts;
+  opts.period_ops = 100;
+  MemoryArbiter arbiter(setup, MonkeyDefaultConfig(setup).ToOptions(setup), 64,
+                        opts);
+  ASSERT_TRUE(arbiter.active());
+
+  const std::vector<uint64_t> before = arbiter.budget_bits();
+  for (int round = 0; round < 3; ++round) arbiter.Rebalance(&eng);
+
+  EXPECT_EQ(arbiter.moves(), 0u);
+  EXPECT_EQ(arbiter.reconfigurations(), 0u);
+  EXPECT_EQ(arbiter.budget_bits(), before);
+  uint64_t ledger = 0;
+  for (uint64_t bits : arbiter.budget_bits()) {
+    EXPECT_EQ(bits, before[0]);  // the undisturbed even share
+    ledger += bits;
+  }
+  EXPECT_EQ(ledger, arbiter.total_bits());  // exact, not just bounded
+  // The arbitration pass itself is O(active): with zero activity it read
+  // nothing from the engine, so no shard materialized.
+  EXPECT_EQ(eng.MaterializedShards(), 0u);
+}
+
+TEST(MemoryArbiterTest, SingleActiveShardWindowConservesExactly) {
+  // One tenant active out of eight: the round promotes it from its group
+  // pool, funds it from silent implicit members, and the two-level ledger
+  // conserves the system total bit-exactly through every handoff.
+  SystemSetup setup;
+  setup.num_entries = 8000;
+  setup.total_memory_bits = 8 * 32000;
+  workload::KeySpace keys(setup.num_entries, setup.seed);
+  auto eng = MakeLoadedEngine(setup, 8, keys);
+
+  ArbiterOptions opts;
+  opts.period_ops = 400;
+  MemoryArbiter arbiter(setup, MonkeyDefaultConfig(setup).ToOptions(setup), 8,
+                        opts);
+  ASSERT_TRUE(arbiter.active());
+  const uint64_t even = arbiter.budget_bits()[0];
+
+  for (int i = 0; i < 400; ++i) {
+    arbiter.Record(3, i % 2 == 0 ? workload::OpType::kNonZeroResultLookup
+                                 : workload::OpType::kWrite);
+  }
+  // Record() only accumulates counts; the window clock advances in the
+  // OnBatch hooks, so fire the round directly.
+  arbiter.Rebalance(eng.get());
+
+  // The active shard gained; every donor was a silent shard; nobody fell
+  // through the floor; and the ledger total is exact — pool withdrawals
+  // hand out exactly the even share, so sparse promotion loses no bits.
+  EXPECT_GT(arbiter.moves(), 0u);
+  EXPECT_GE(arbiter.reconfigurations(), 2u);
+  EXPECT_GT(arbiter.BudgetBits(3), even);
+  uint64_t ledger = 0;
+  for (size_t s = 0; s < 8; ++s) {
+    const uint64_t bits = arbiter.BudgetBits(s);
+    EXPECT_GE(bits, arbiter.floor_bits());
+    if (s != 3) {
+      EXPECT_LE(bits, even) << "shard " << s;
+    }
+    ledger += bits;
+  }
+  EXPECT_EQ(ledger, arbiter.total_bits());
+  // What the engine actually holds never exceeds the conserved total.
+  uint64_t applied = 0;
+  for (size_t s = 0; s < 8; ++s) {
+    applied += eng->ShardBudgetSnapshot(s).TotalBits();
+  }
+  EXPECT_LE(applied, arbiter.total_bits());
+}
+
+TEST(MemoryArbiterTest, HibernationHandoffConservesAcrossDemoteAndRepromote) {
+  // The lifecycle handoff loop: skewed traffic diverges explicit budgets,
+  // a traffic shift hibernates the idle half (their budgets deposit back
+  // into the group pool — demotion), and the traffic's return wakes and
+  // re-promotes them at the pool's amortized slice. The conserved total
+  // may be under-reported only by the pool's floor-division remainder
+  // (< one bit per implicit member), never exceeded.
+  SystemSetup setup;
+  setup.num_entries = 8000;
+  setup.total_memory_bits = 8 * 32000;
+  workload::KeySpace keys(setup.num_entries, setup.seed);
+  auto eng = std::make_unique<engine::ShardedEngine>(
+      8, MonkeyDefaultConfig(setup).ToOptions(setup), setup.MakeDeviceConfig(),
+      engine::ShardLifecycleConfig{/*lazy=*/true,
+                                   /*hibernate_after_batches=*/1});
+  workload::BulkLoad(eng.get(), keys);
+
+  ArbiterOptions opts;
+  opts.period_ops = 300;  // one round per 300-op batch
+  MemoryArbiter arbiter(setup, MonkeyDefaultConfig(setup).ToOptions(setup), 8,
+                        opts);
+  ASSERT_TRUE(arbiter.active());
+
+  // A skewed stream with no scans (scans touch every shard, which would
+  // keep the idle half awake). Point ops split cleanly by routed shard.
+  workload::GeneratorConfig gen_cfg;
+  gen_cfg.shard_skew = 1.0;
+  gen_cfg.num_shards = 8;
+  workload::OperationGenerator gen(model::WorkloadSpec{0.25, 0.35, 0.0, 0.4},
+                                   &keys, gen_cfg, /*seed=*/5);
+  std::vector<workload::Operation> all_ops;
+  std::vector<workload::Operation> low_ops;  // shards 0-3 only
+  for (int i = 0; i < 4000; ++i) {
+    const workload::Operation op = gen.Next();
+    all_ops.push_back(op);
+    if (eng->ShardIndex(op.key) < 4) low_ops.push_back(op);
+  }
+  ASSERT_GE(low_ops.size(), 1200u);
+
+  const auto check_conserved = [&] {
+    uint64_t ledger = 0;
+    for (uint64_t bits : arbiter.budget_bits()) {
+      EXPECT_GE(bits, arbiter.floor_bits());
+      ledger += bits;
+    }
+    EXPECT_LE(ledger, arbiter.total_bits());
+    EXPECT_GE(ledger + 8, arbiter.total_bits());  // view slack < members
+  };
+  const auto run_batch = [&](const std::vector<workload::Operation>& stream,
+                             size_t from) {
+    std::vector<engine::Op> ops;
+    ops.reserve(300);
+    for (size_t i = from; i < from + 300; ++i) {
+      ops.push_back(workload::ToEngineOp(stream[i]));
+    }
+    std::vector<engine::OpResult> results(ops.size());
+    eng->ExecuteOps(ops.data(), ops.size(), results.data());
+    arbiter.OnBatch(eng.get(), stream.data() + from, 300);
+    check_conserved();
+  };
+
+  // Phase 1: every shard trafficked -> all promoted, budgets diverge.
+  for (size_t b = 0; b < 4; ++b) run_batch(all_ops, b * 300);
+  EXPECT_GT(arbiter.moves(), 0u);
+
+  // Phase 2: traffic narrows to shards 0-3. The idle half hibernates
+  // after one silent batch and the next round demotes it — each shard's
+  // entire (diverged) budget deposits back into the pool, exactly.
+  for (size_t b = 0; b < 4; ++b) run_batch(low_ops, b * 300);
+  for (size_t s = 4; s < 8; ++s) {
+    EXPECT_EQ(eng->ShardLifecycle(s), engine::ShardState::kHibernated) << s;
+  }
+
+  // Phase 3: the broad mix returns; hibernated shards wake transparently
+  // and re-promote from the pool at its amortized slice.
+  for (size_t b = 0; b < 4; ++b) run_batch(all_ops, b * 300);
+  for (size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(eng->ShardLifecycle(s), engine::ShardState::kMaterialized) << s;
+  }
+  EXPECT_GE(arbiter.rounds(), 12u);
+}
+
 }  // namespace
 }  // namespace camal::tune

@@ -463,6 +463,21 @@ TEST(SystemSetupValidateTest, RejectsInconsistentKnobCombinations) {
   s.num_entries = 0;
   expect_invalid(s);
 
+  // num_shards range: zero shards and counts past the 16M ceiling are
+  // both units mistakes, rejected with a message; the ceiling itself is
+  // a legal (if enormous) fleet.
+  s = SmallSetup();
+  s.num_shards = 0;
+  expect_invalid(s);
+
+  s = SmallSetup();
+  s.num_shards = SystemSetup::kMaxShards + 1;
+  expect_invalid(s);
+
+  s = SmallSetup();
+  s.num_shards = SystemSetup::kMaxShards;
+  EXPECT_TRUE(s.Validate().ok());
+
   // The valid gateway combination passes.
   s = SmallSetup();
   s.serve_mode = tune::ServeMode::kGateway;

@@ -1,0 +1,388 @@
+// Golden equality for the shard lifecycle: a lazy engine — and a lazy
+// engine that hibernates idle shards and wakes them on touch — must be
+// observationally indistinguishable from the historical eager engine
+// serving the same stream. On the simulated backend that means bitwise:
+// per-op latency/ios/found/scan_hits, EngineCounters, device cost sums,
+// and entry counts. On the real-IO backend wall-clock varies, so the
+// deterministic surface is compared instead: logical results, per-op I/O
+// counts, block read/write totals, counters, and run-file structure.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "camal/sample.h"
+#include "engine/file_engine.h"
+#include "engine/sharded_engine.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+
+namespace camal::engine {
+namespace {
+
+tune::SystemSetup SmallSetup(size_t shards) {
+  tune::SystemSetup setup;
+  setup.num_entries = 6000;
+  setup.total_memory_bits = 16 * 6000;
+  setup.num_shards = shards;
+  return setup;
+}
+
+std::vector<Op> GenerateOps(const tune::SystemSetup& setup, size_t num_ops,
+                            workload::KeySpace* keys, uint64_t seed) {
+  workload::GeneratorConfig gen_cfg;
+  gen_cfg.scan_len = setup.scan_len;
+  workload::OperationGenerator gen(model::WorkloadSpec{0.2, 0.3, 0.2, 0.3},
+                                   keys, gen_cfg, seed);
+  std::vector<Op> ops;
+  ops.reserve(num_ops);
+  for (size_t i = 0; i < num_ops; ++i) {
+    ops.push_back(workload::ToEngineOp(gen.Next()));
+  }
+  return ops;
+}
+
+/// Splits a mixed stream into batches that each touch only shards
+/// `< pivot` (`low`) or only shards `>= pivot` (`high`), preserving
+/// relative order. Scans touch every shard, so they go to neither — the
+/// phased hibernation tests schedule them explicitly.
+void SplitByShard(const StorageEngine& eng, const std::vector<Op>& ops,
+                  size_t pivot, std::vector<Op>* low, std::vector<Op>* high) {
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kScan) continue;
+    (eng.ShardIndex(op.key) < pivot ? low : high)->push_back(op);
+  }
+}
+
+void ExpectSameResults(const std::vector<OpResult>& got,
+                       const std::vector<OpResult>& want,
+                       bool compare_latency) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (compare_latency) {
+      EXPECT_EQ(got[i].latency_ns, want[i].latency_ns) << "op " << i;
+    }
+    EXPECT_EQ(got[i].ios, want[i].ios) << "op " << i;
+    EXPECT_EQ(got[i].found, want[i].found) << "op " << i;
+    EXPECT_EQ(got[i].scan_hits, want[i].scan_hits) << "op " << i;
+  }
+}
+
+void ExpectSameCounters(const EngineCounters& got, const EngineCounters& want) {
+  EXPECT_EQ(got.compaction_block_reads, want.compaction_block_reads);
+  EXPECT_EQ(got.compaction_block_writes, want.compaction_block_writes);
+  EXPECT_EQ(got.transition_ios, want.transition_ios);
+  EXPECT_EQ(got.flushes, want.flushes);
+  EXPECT_EQ(got.merges, want.merges);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated backend (ShardedEngine): full bitwise equality.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ShardedEngine> MakeSimEngine(const tune::SystemSetup& setup,
+                                             const workload::KeySpace& keys,
+                                             const ShardLifecycleConfig& lc) {
+  auto eng = std::make_unique<ShardedEngine>(
+      setup.num_shards, tune::MonkeyDefaultConfig(setup).ToOptions(setup),
+      setup.MakeDeviceConfig(), lc);
+  workload::BulkLoad(eng.get(), keys);
+  return eng;
+}
+
+/// Runs the same pre-built batch schedule on both engines and asserts the
+/// complete observable surface matches bitwise after every batch.
+void RunGoldenSchedule(ShardedEngine* lazy, ShardedEngine* eager,
+                       const std::vector<std::vector<Op>>& batches) {
+  for (size_t b = 0; b < batches.size(); ++b) {
+    SCOPED_TRACE("batch " + std::to_string(b));
+    const std::vector<Op>& batch = batches[b];
+    std::vector<OpResult> got(batch.size());
+    std::vector<OpResult> want(batch.size());
+    lazy->ExecuteOps(batch.data(), batch.size(), got.data());
+    eager->ExecuteOps(batch.data(), batch.size(), want.data());
+    ExpectSameResults(got, want, /*compare_latency=*/true);
+  }
+  ExpectSameCounters(lazy->AggregateCounters(), eager->AggregateCounters());
+  for (size_t s = 0; s < eager->NumShards(); ++s) {
+    ExpectSameCounters(lazy->ShardCounters(s), eager->ShardCounters(s));
+    const sim::DeviceSnapshot a = lazy->ShardCostSnapshot(s);
+    const sim::DeviceSnapshot b = eager->ShardCostSnapshot(s);
+    EXPECT_EQ(a.block_reads, b.block_reads) << "shard " << s;
+    EXPECT_EQ(a.block_writes, b.block_writes) << "shard " << s;
+    EXPECT_EQ(a.elapsed_ns, b.elapsed_ns) << "shard " << s;  // bit-exact
+    EXPECT_EQ(lazy->ShardEntries(s), eager->ShardEntries(s));
+  }
+  const sim::DeviceSnapshot a = lazy->CostSnapshot();
+  const sim::DeviceSnapshot b = eager->CostSnapshot();
+  EXPECT_EQ(a.TotalIos(), b.TotalIos());
+  EXPECT_EQ(a.elapsed_ns, b.elapsed_ns);
+  EXPECT_EQ(lazy->TotalEntries(), eager->TotalEntries());
+  EXPECT_EQ(lazy->DiskEntries(), eager->DiskEntries());
+}
+
+TEST(ShardLifecycleTest, LazyIsBitIdenticalToEagerOnMixedStream) {
+  const tune::SystemSetup setup = SmallSetup(8);
+  workload::KeySpace gen_keys(setup.num_entries, setup.seed);
+  const std::vector<Op> ops = GenerateOps(setup, 3000, &gen_keys, 99);
+
+  workload::KeySpace keys_a(setup.num_entries, setup.seed);
+  auto lazy = MakeSimEngine(setup, keys_a, ShardLifecycleConfig{});
+  workload::KeySpace keys_b(setup.num_entries, setup.seed);
+  auto eager =
+      MakeSimEngine(setup, keys_b, ShardLifecycleConfig{/*lazy=*/false, 0});
+
+  std::vector<std::vector<Op>> batches;
+  for (size_t i = 0; i < ops.size(); i += 256) {
+    batches.emplace_back(ops.begin() + i,
+                         ops.begin() + std::min(i + 256, ops.size()));
+  }
+  RunGoldenSchedule(lazy.get(), eager.get(), batches);
+}
+
+TEST(ShardLifecycleTest, HibernateWakeRehibernateIsBitIdenticalOnSim) {
+  const tune::SystemSetup setup = SmallSetup(8);
+  workload::KeySpace gen_keys(setup.num_entries, setup.seed);
+  const std::vector<Op> ops = GenerateOps(setup, 6000, &gen_keys, 99);
+
+  workload::KeySpace keys_a(setup.num_entries, setup.seed);
+  auto hib = MakeSimEngine(
+      setup, keys_a,
+      ShardLifecycleConfig{/*lazy=*/true, /*hibernate_after_batches=*/2});
+  workload::KeySpace keys_b(setup.num_entries, setup.seed);
+  auto eager =
+      MakeSimEngine(setup, keys_b, ShardLifecycleConfig{/*lazy=*/false, 0});
+
+  // Partition point ops into a low half (shards 0-3) and a high half
+  // (shards 4-7), and pull out one scan for the wake-all phase.
+  std::vector<Op> low, high;
+  SplitByShard(*eager, ops, 4, &low, &high);
+  ASSERT_GT(low.size(), 1200u);
+  ASSERT_GT(high.size(), 1200u);
+  Op scan;
+  scan.kind = OpKind::kScan;
+  scan.key = 0;
+  scan.scan_len = 64;
+
+  auto slice = [](const std::vector<Op>& src, size_t from, size_t count) {
+    return std::vector<Op>(src.begin() + from, src.begin() + from + count);
+  };
+  // Phase A: four low-only batches — shards 4-7 go idle past the
+  // threshold and hibernate. Phase B: a high-only batch wakes them.
+  // Phase C: four more low-only batches — they hibernate AGAIN (the
+  // freeze -> wake -> freeze cycle). Phase D: a scan wakes everything.
+  const std::vector<std::vector<Op>> batches = {
+      slice(low, 0, 300),   slice(low, 300, 300), slice(low, 600, 300),
+      slice(low, 900, 300), slice(high, 0, 600),  slice(low, 0, 300),
+      slice(low, 300, 300), slice(low, 600, 300), slice(low, 900, 300),
+      {scan},               slice(high, 600, high.size() - 600)};
+
+  // Interleave the schedule with lifecycle assertions on the hibernating
+  // engine (the eager engine must never leave kMaterialized).
+  size_t b = 0;
+  auto run_batch = [&](const std::vector<Op>& batch) {
+    SCOPED_TRACE("batch " + std::to_string(b));
+    std::vector<OpResult> got(batch.size());
+    std::vector<OpResult> want(batch.size());
+    hib->ExecuteOps(batch.data(), batch.size(), got.data());
+    eager->ExecuteOps(batch.data(), batch.size(), want.data());
+    ExpectSameResults(got, want, /*compare_latency=*/true);
+    ++b;
+  };
+
+  for (size_t i = 0; i < 4; ++i) run_batch(batches[i]);
+  // Shards 4-7 idled through >2 batches: frozen.
+  for (size_t s = 4; s < 8; ++s) {
+    EXPECT_EQ(hib->ShardLifecycle(s), ShardState::kHibernated) << s;
+    EXPECT_EQ(eager->ShardLifecycle(s), ShardState::kMaterialized) << s;
+  }
+  EXPECT_EQ(hib->MaterializedShards(), 4u);
+
+  run_batch(batches[4]);  // high traffic: transparent wake
+  for (size_t s = 4; s < 8; ++s) {
+    EXPECT_EQ(hib->ShardLifecycle(s), ShardState::kMaterialized) << s;
+  }
+
+  for (size_t i = 5; i < 9; ++i) run_batch(batches[i]);
+  // Hibernated a second time.
+  for (size_t s = 4; s < 8; ++s) {
+    EXPECT_EQ(hib->ShardLifecycle(s), ShardState::kHibernated) << s;
+  }
+
+  run_batch(batches[9]);  // the scan wakes every hibernated shard
+  EXPECT_EQ(hib->MaterializedShards(), 8u);
+  run_batch(batches[10]);
+
+  // After the full freeze/wake/freeze/wake history the complete state is
+  // still bitwise the eager engine's.
+  ExpectSameCounters(hib->AggregateCounters(), eager->AggregateCounters());
+  for (size_t s = 0; s < 8; ++s) {
+    ExpectSameCounters(hib->ShardCounters(s), eager->ShardCounters(s));
+    EXPECT_EQ(hib->ShardCostSnapshot(s).elapsed_ns,
+              eager->ShardCostSnapshot(s).elapsed_ns);
+    EXPECT_EQ(hib->ShardEntries(s), eager->ShardEntries(s));
+  }
+  EXPECT_EQ(hib->CostSnapshot().elapsed_ns, eager->CostSnapshot().elapsed_ns);
+  EXPECT_EQ(hib->TotalEntries(), eager->TotalEntries());
+  EXPECT_EQ(hib->DiskEntries(), eager->DiskEntries());
+}
+
+TEST(ShardLifecycleTest, ColdShardsHoldNothingAndAccessorsAreSafe) {
+  const tune::SystemSetup setup = SmallSetup(16);
+  // No bulk load: every shard starts cold.
+  ShardedEngine eng(setup.num_shards,
+                    tune::MonkeyDefaultConfig(setup).ToOptions(setup),
+                    setup.MakeDeviceConfig());
+  EXPECT_EQ(eng.MaterializedShards(), 0u);
+  for (size_t s = 0; s < setup.num_shards; ++s) {
+    EXPECT_EQ(eng.ShardLifecycle(s), ShardState::kCold);
+    EXPECT_EQ(eng.ShardEntries(s), 0u);
+    EXPECT_EQ(eng.ShardCostSnapshot(s).TotalIos(), 0u);
+    EXPECT_EQ(eng.ShardCounters(s).flushes, 0u);
+  }
+  EXPECT_EQ(eng.TotalEntries(), 0u);
+  EXPECT_EQ(eng.DiskEntries(), 0u);
+  EXPECT_FALSE(eng.InTransition());
+
+  // A scan over an all-cold engine probes nothing and finds nothing.
+  std::vector<lsm::Entry> out;
+  EXPECT_EQ(eng.Scan(0, 100, &out), 0u);
+  EXPECT_EQ(eng.MaterializedShards(), 0u);
+
+  // One touching op materializes exactly its own shard.
+  Op get;
+  get.kind = OpKind::kGet;
+  get.key = 12345;
+  OpResult r;
+  eng.ExecuteOps(&get, 1, &r);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(eng.MaterializedShards(), 1u);
+  EXPECT_EQ(eng.ShardLifecycle(eng.ShardIndex(get.key)),
+            ShardState::kMaterialized);
+}
+
+TEST(ShardLifecycleTest, ReconfigureWhileColdAppliesOnMaterialization) {
+  const tune::SystemSetup setup = SmallSetup(4);
+  const lsm::Options total = tune::MonkeyDefaultConfig(setup).ToOptions(setup);
+  ShardedEngine eng(setup.num_shards, total, setup.MakeDeviceConfig());
+
+  // Retune a cold shard: it must stay cold (deferred reconfiguration of
+  // an empty tree is observationally identical to applying it now)...
+  lsm::Options tuned = ShardedEngine::ShardOptions(total, setup.num_shards);
+  tuned.bloom_bits = tuned.bloom_bits / 2 + 7;
+  tuned.buffer_bytes = tuned.buffer_bytes / 2;
+  eng.ReconfigureShard(2, tuned);
+  EXPECT_EQ(eng.ShardLifecycle(2), ShardState::kCold);
+  // ...and the snapshot — and the later materialized shard — must carry
+  // the tuned values.
+  EXPECT_EQ(eng.ShardOptionsSnapshot(2).bloom_bits, tuned.bloom_bits);
+  uint64_t key = 0;
+  while (eng.ShardIndex(key) != 2) ++key;
+  eng.Put(key, 1);
+  EXPECT_EQ(eng.ShardLifecycle(2), ShardState::kMaterialized);
+  EXPECT_EQ(eng.ShardOptionsSnapshot(2).bloom_bits, tuned.bloom_bits);
+  EXPECT_EQ(eng.ShardOptionsSnapshot(2).buffer_bytes, tuned.buffer_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Real-IO backend (FileEngine): the deterministic surface matches; only
+// wall-clock latencies may differ.
+// ---------------------------------------------------------------------------
+
+std::string TestBase() {
+  if (const char* env = std::getenv("CAMAL_FILE_WORKDIR")) return env;
+  return ::testing::TempDir();
+}
+
+std::string UniqueDir(const std::string& tag) {
+  return TestBase() + "/camal_lc_test_" + tag + "_" +
+         std::to_string(FileEngine::NextUniqueId());
+}
+
+TEST(ShardLifecycleTest, HibernateWakeRehibernateMatchesEagerOnFile) {
+  tune::SystemSetup setup = SmallSetup(4);
+  setup.num_entries = 3000;
+  setup.total_memory_bits = 16 * 3000;
+  const lsm::Options total = tune::MonkeyDefaultConfig(setup).ToOptions(setup);
+
+  FileEngineConfig hib_cfg;
+  hib_cfg.workdir = UniqueDir("hib");
+  hib_cfg.lifecycle =
+      ShardLifecycleConfig{/*lazy=*/true, /*hibernate_after_batches=*/1};
+  FileEngine hib(setup.num_shards, total, hib_cfg);
+
+  FileEngineConfig eager_cfg;
+  eager_cfg.workdir = UniqueDir("eager");
+  eager_cfg.lifecycle = ShardLifecycleConfig{/*lazy=*/false, 0};
+  FileEngine eager(setup.num_shards, total, eager_cfg);
+
+  workload::KeySpace keys_a(setup.num_entries, setup.seed);
+  workload::BulkLoad(&hib, keys_a);
+  workload::KeySpace keys_b(setup.num_entries, setup.seed);
+  workload::BulkLoad(&eager, keys_b);
+
+  workload::KeySpace gen_keys(setup.num_entries, setup.seed);
+  const std::vector<Op> ops = GenerateOps(setup, 3000, &gen_keys, 99);
+  std::vector<Op> low, high;
+  SplitByShard(eager, ops, 2, &low, &high);
+  ASSERT_GT(low.size(), 600u);
+  ASSERT_GT(high.size(), 600u);
+  Op scan;
+  scan.kind = OpKind::kScan;
+  scan.key = 0;
+  scan.scan_len = 64;
+
+  auto slice = [](const std::vector<Op>& src, size_t from, size_t count) {
+    return std::vector<Op>(src.begin() + from, src.begin() + from + count);
+  };
+  const std::vector<std::vector<Op>> batches = {
+      slice(low, 0, 300),  slice(low, 300, 300),  // shards 2-3 freeze
+      slice(high, 0, 300),                        // sidecar rehydration
+      slice(low, 600, std::min(size_t{300}, low.size() - 600)),
+      slice(low, 0, 300),                         // shards 2-3 freeze again
+      {scan},                                     // wake-all
+      slice(high, 300, high.size() - 300)};
+
+  for (size_t b = 0; b < batches.size(); ++b) {
+    SCOPED_TRACE("batch " + std::to_string(b));
+    const std::vector<Op>& batch = batches[b];
+    std::vector<OpResult> got(batch.size());
+    std::vector<OpResult> want(batch.size());
+    hib.ExecuteOps(batch.data(), batch.size(), got.data());
+    eager.ExecuteOps(batch.data(), batch.size(), want.data());
+    // Real clocks: latency differs run to run; everything else is owed
+    // bit-exactly.
+    ExpectSameResults(got, want, /*compare_latency=*/false);
+    if (b == 1) {
+      // Two low-only batches passed: the high shards froze to sidecars.
+      EXPECT_EQ(hib.ShardLifecycle(2), ShardState::kHibernated);
+      EXPECT_EQ(hib.ShardLifecycle(3), ShardState::kHibernated);
+    }
+    if (b == 2) {
+      EXPECT_EQ(hib.ShardLifecycle(2), ShardState::kMaterialized);
+      EXPECT_EQ(hib.ShardLifecycle(3), ShardState::kMaterialized);
+    }
+    if (b == 5) {
+      EXPECT_EQ(hib.MaterializedShards(), 4u);
+    }
+  }
+
+  ExpectSameCounters(hib.AggregateCounters(), eager.AggregateCounters());
+  EXPECT_EQ(hib.CostSnapshot().block_reads, eager.CostSnapshot().block_reads);
+  EXPECT_EQ(hib.CostSnapshot().block_writes,
+            eager.CostSnapshot().block_writes);
+  for (size_t s = 0; s < setup.num_shards; ++s) {
+    ExpectSameCounters(hib.ShardCounters(s), eager.ShardCounters(s));
+    EXPECT_EQ(hib.ShardRunCount(s), eager.ShardRunCount(s)) << "shard " << s;
+    EXPECT_EQ(hib.ShardEntries(s), eager.ShardEntries(s)) << "shard " << s;
+  }
+  EXPECT_EQ(hib.TotalEntries(), eager.TotalEntries());
+  EXPECT_EQ(hib.DiskEntries(), eager.DiskEntries());
+}
+
+}  // namespace
+}  // namespace camal::engine
