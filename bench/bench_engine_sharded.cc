@@ -80,6 +80,14 @@ struct SweepRow {
   double sim_mean_us = 0.0;
   double sim_p99_us = 0.0;
   double sim_ios_per_op = 0.0;
+  /// Measured-vs-predicted per-op I/O residuals (tenant 0, per cost
+  /// channel): the engine's op-cost profiler windows against the
+  /// closed-form model's expectation at this (mix, config) — the
+  /// sim-vs-model gap `bench_calibration`'s corrector fits away. 0 for
+  /// channels that served no ops.
+  double point_ios_residual = 0.0;
+  double range_ios_residual = 0.0;
+  double write_ios_residual = 0.0;
   /// Per-shard observability of tenant 0 after the run: arbitrated (or
   /// even-split) memory budgets, live entries, and each shard's simulated
   /// cost clock — the accessors the arbiter itself prices with.
@@ -157,6 +165,9 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
       tenants.push_back(std::move(se));
     }
     workload::BulkLoad(tenants.back().get(), keys);
+    // Residual columns compare the model against the *measured phase*
+    // only: drop whatever the profiler saw during ingest.
+    tenants.back()->ResetOpCostWindows();
     workload::ExecuteJob job;
     job.engine = tenants.back().get();
     job.spec = mix;
@@ -221,6 +232,38 @@ SweepRow RunCell(const SweepConfig& cfg, size_t shards, size_t threads,
   row.sim_p99_us /= n;
   row.sim_ios_per_op /= n;
 
+  // Measured-vs-predicted residual columns (tenant 0): the closed-form
+  // model's per-channel expectation against the profiler windows the run
+  // just filled.
+  {
+    const engine::StorageEngine& t0 = *tenants.front();
+    const model::CostModel cm(setup.ToModelParams());
+    const model::ModelConfig mconf = config.ToModelConfig();
+    const model::WorkloadSpec wn = mix.Normalized();
+    const engine::OpCostWindow points =
+        t0.OpCostWindowTotal(engine::OpKind::kGet);
+    engine::OpCostWindow writes = t0.OpCostWindowTotal(engine::OpKind::kPut);
+    writes += t0.OpCostWindowTotal(engine::OpKind::kDelete);
+    const engine::OpCostWindow ranges =
+        t0.OpCostWindowTotal(engine::OpKind::kScan);
+    const double point_weight = wn.v + wn.r;
+    const double point_pred =
+        point_weight <= 0.0
+            ? 0.0
+            : (wn.v * cm.ZeroResultLookupCost(mconf) +
+               wn.r * cm.NonZeroResultLookupCost(mconf)) /
+                  point_weight;
+    if (points.ops > 0) {
+      row.point_ios_residual = points.IosPerOp() - point_pred;
+    }
+    if (ranges.ops > 0) {
+      row.range_ios_residual = ranges.IosPerOp() - cm.RangeLookupCost(mconf);
+    }
+    if (writes.ops > 0) {
+      row.write_ios_residual = writes.IosPerOp() - cm.WriteCost(mconf);
+    }
+  }
+
   // Per-shard columns from tenant 0 (tenants are statistically identical;
   // one tenant keeps the artifact small): where the budget ended up, how
   // many entries each shard holds, and each shard's cost clock.
@@ -272,10 +315,15 @@ void WriteJson(const std::string& path, const SweepConfig& cfg,
                  "\"skew\": %.3f, \"shards\": %zu, \"threads\": %zu, "
                  "\"wall_ms\": %.3f, \"ops_per_sec\": %.1f, "
                  "\"sim_mean_us\": %.3f, \"sim_p99_us\": %.3f, "
-                 "\"sim_ios_per_op\": %.4f, ",
+                 "\"sim_ios_per_op\": %.4f, "
+                 "\"point_ios_residual\": %.4f, "
+                 "\"range_ios_residual\": %.4f, "
+                 "\"write_ios_residual\": %.4f, ",
                  r.backend, r.io_backend, r.io_queue_depth, r.mode, r.arbiter,
                  r.skew, r.shards, r.threads, r.wall_ms, r.ops_per_sec,
-                 r.sim_mean_us, r.sim_p99_us, r.sim_ios_per_op);
+                 r.sim_mean_us, r.sim_p99_us, r.sim_ios_per_op,
+                 r.point_ios_residual, r.range_ios_residual,
+                 r.write_ios_residual);
     print_u64_array("shard_budget_bits", r.shard_budget_bits);
     std::fprintf(f, ", ");
     print_u64_array("shard_entries", r.shard_entries);

@@ -110,7 +110,7 @@ TuningConfig CamalTuner::RecommendFor(const model::WorkloadSpec& w,
 
 std::vector<TuningConfig> CamalTuner::CandidateGrid(
     const model::WorkloadSpec& w, const model::SystemParams& target) const {
-  const model::CostModel cm(target);
+  const model::CostModel cm(target, options_.cost_corrector.get());
   const double t_lim = std::floor(cm.SizeRatioLimit());
   const double n = target.num_entries;
   const double m = target.total_memory_bits;
@@ -278,7 +278,7 @@ void CamalTuner::Train(const std::vector<model::WorkloadSpec>& workloads) {
 TuningConfig CamalTuner::TrainWorkload(const model::WorkloadSpec& w,
                                        lsm::CompactionPolicy policy) {
   const model::SystemParams sys = train_setup_.ToModelParams();
-  const model::CostModel cm(sys);
+  const model::CostModel cm(sys, options_.cost_corrector.get());
   const double t_lim = std::floor(cm.SizeRatioLimit());
   const double n = sys.num_entries;
   const double m = sys.total_memory_bits;

@@ -20,7 +20,7 @@ TuningConfig ClassicTuner::Recommend(const model::WorkloadSpec& w) const {
 
 TuningConfig ClassicTuner::RecommendFor(
     const model::WorkloadSpec& w, const model::SystemParams& target) const {
-  const model::CostModel cm(target);
+  const model::CostModel cm(target, options_.cost_corrector.get());
   const model::TheoreticalOptimum opt =
       options_.tune_policy ? model::MinimizeCostOverPolicies(w, cm)
                            : model::MinimizeCost(w, cm, options_.policy);

@@ -83,6 +83,9 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
     }
   }
   const double build_ns = eng.CostSnapshot().elapsed_ns;
+  // Residual attribution starts clean: the op-cost profiler should see
+  // the measured query phase only, not ingest/warmup traffic.
+  eng.ResetOpCostWindows();
 
   workload::ExecutorConfig exec;
   exec.num_ops = num_ops;
@@ -158,6 +161,44 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
     m.p99_latency_ns = result.latency_ns.Quantile(0.99);
     m.ios_per_op = result.IosPerOp();
     m.run_ns = result.total_ns;
+  }
+  // Per-channel measured-vs-predicted residuals: the closed-form model's
+  // expectation at this (workload, config) against the engine's profiler
+  // windows over the query phase just served. Predictions use the
+  // system-total scale — on a multi-shard engine this is the model's
+  // whole-system view of the same approximation the tuners price with.
+  {
+    const model::CostModel cm(setup_.ToModelParams());
+    const model::ModelConfig mc = config.ToModelConfig();
+    const model::WorkloadSpec wn = workload.Normalized();
+    const double point_weight = wn.v + wn.r;
+    m.point_ios_predicted =
+        point_weight <= 0.0
+            ? 0.0
+            : (wn.v * cm.ZeroResultLookupCost(mc) +
+               wn.r * cm.NonZeroResultLookupCost(mc)) /
+                  point_weight;
+    m.range_ios_predicted = cm.RangeLookupCost(mc);
+    m.write_ios_predicted = cm.WriteCost(mc);
+
+    const engine::OpCostWindow points =
+        eng.OpCostWindowTotal(engine::OpKind::kGet);
+    engine::OpCostWindow writes = eng.OpCostWindowTotal(engine::OpKind::kPut);
+    writes += eng.OpCostWindowTotal(engine::OpKind::kDelete);
+    const engine::OpCostWindow ranges =
+        eng.OpCostWindowTotal(engine::OpKind::kScan);
+    if (points.ops > 0) {
+      m.point_ios_measured = points.IosPerOp();
+      m.point_ios_residual = m.point_ios_measured - m.point_ios_predicted;
+    }
+    if (ranges.ops > 0) {
+      m.range_ios_measured = ranges.IosPerOp();
+      m.range_ios_residual = m.range_ios_measured - m.range_ios_predicted;
+    }
+    if (writes.ops > 0) {
+      m.write_ios_measured = writes.IosPerOp();
+      m.write_ios_residual = m.write_ios_measured - m.write_ios_predicted;
+    }
   }
   m.total_cost_ns = build_ns + m.run_ns;
   return m;

@@ -34,6 +34,22 @@ struct Measurement {
   double shed_rate = 0.0;
   /// p99 of queueing delay alone (gateway mode; 0 in closed loop).
   double queue_p99_ns = 0.0;
+  /// Measured-vs-predicted per-op I/O by cost channel: `*_predicted` is
+  /// the closed-form model's expected I/Os per operation at this
+  /// (workload, config); `*_measured` comes from the engine's op-cost
+  /// profiler windows over the query phase (point = lookups, range =
+  /// scans, write = puts + deletes); `*_residual` = measured − predicted.
+  /// The sim-vs-model gap a calibration pass learns (`ResidualCorrector`).
+  /// Measured and residual are 0 for a channel that served no ops.
+  double point_ios_predicted = 0.0;
+  double point_ios_measured = 0.0;
+  double point_ios_residual = 0.0;
+  double range_ios_predicted = 0.0;
+  double range_ios_measured = 0.0;
+  double range_ios_residual = 0.0;
+  double write_ios_predicted = 0.0;
+  double write_ios_measured = 0.0;
+  double write_ios_residual = 0.0;
 };
 
 /// One (workload, config, salt) measurement request for batched

@@ -328,7 +328,8 @@ size_t MemoryArbiter::Rebalance(engine::StorageEngine* engine) {
       shape.runs_per_level = live.runs_per_level;
       marginal[i] =
           model::PriceMemoryDelta(WindowSpec(s), ShardParams(*engine, s, explicit_[s]),
-                                  shape, mc_frac, delta);
+                                  shape, mc_frac, delta,
+                                  cost_corrector_.get());
     };
     for (size_t i = 0; i < part.size(); ++i) refresh(i);
 

@@ -4,6 +4,8 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "camal/sample.h"
@@ -141,6 +143,17 @@ class MemoryArbiter : public workload::BatchHook {
 
   const ArbiterOptions& options() const { return options_; }
 
+  /// Attaches (or detaches, with null) a measured-cost corrector: every
+  /// marginal-benefit pricing of subsequent rounds calibrates through it
+  /// (`model::PriceMemoryDelta`), so budgets chase *measured* cost.
+  /// Detached (the default) is the exact uncalibrated arbiter.
+  void set_cost_corrector(std::shared_ptr<const model::CostCorrector> c) {
+    cost_corrector_ = std::move(c);
+  }
+  const std::shared_ptr<const model::CostCorrector>& cost_corrector() const {
+    return cost_corrector_;
+  }
+
  private:
   /// One group of the two-level budget hierarchy: the pooled bits of all
   /// its member shards that hold no per-shard ledger entry.
@@ -203,6 +216,7 @@ class MemoryArbiter : public workload::BatchHook {
   size_t rounds_ = 0;
   size_t moves_ = 0;
   size_t reconfigurations_ = 0;
+  std::shared_ptr<const model::CostCorrector> cost_corrector_;
 };
 
 }  // namespace camal::tune

@@ -1,0 +1,58 @@
+#include "camal/residual_corrector.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace camal::tune {
+
+namespace {
+size_t ChannelIndex(model::CostChannel channel) {
+  const size_t i = static_cast<size_t>(channel);
+  CAMAL_CHECK(i < model::kNumCostChannels);
+  return i;
+}
+}  // namespace
+
+ResidualCorrector::ResidualCorrector(const ResidualCorrectorOptions& options)
+    : options_(options) {}
+
+void ResidualCorrector::Observe(model::CostChannel channel, double predicted,
+                                double measured) {
+  Channel& ch = channels_[ChannelIndex(channel)];
+  ch.x.push_back({predicted});
+  ch.y.push_back(measured);
+}
+
+void ResidualCorrector::Fit() {
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    Channel& ch = channels_[i];
+    if (ch.x.size() < options_.min_observations) {
+      ch.model.reset();  // under-observed: stay/revert to the identity
+      continue;
+    }
+    // A fresh regressor per fit keeps the result a pure function of
+    // (observations, seed) — refitting after more observations cannot
+    // depend on the previous fit's internal state.
+    ch.model = MakeModel(options_.model_kind, options_.seed * 31 + i);
+    ch.model->Fit(ch.x, ch.y);
+  }
+}
+
+double ResidualCorrector::Correct(model::CostChannel channel,
+                                  double predicted) const {
+  const Channel& ch = channels_[ChannelIndex(channel)];
+  if (ch.model == nullptr || !ch.model->fitted()) return predicted;
+  return std::max(0.0, ch.model->Predict({predicted}));
+}
+
+bool ResidualCorrector::fitted(model::CostChannel channel) const {
+  const Channel& ch = channels_[ChannelIndex(channel)];
+  return ch.model != nullptr && ch.model->fitted();
+}
+
+size_t ResidualCorrector::observations(model::CostChannel channel) const {
+  return channels_[ChannelIndex(channel)].x.size();
+}
+
+}  // namespace camal::tune

@@ -1,0 +1,77 @@
+#ifndef CAMAL_CAMAL_RESIDUAL_CORRECTOR_H_
+#define CAMAL_CAMAL_RESIDUAL_CORRECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "camal/sample.h"
+#include "ml/regressor.h"
+#include "model/cost_corrector.h"
+
+namespace camal::tune {
+
+/// Knobs of the measured-cost residual corrector.
+struct ResidualCorrectorOptions {
+  /// Regressor family of the per-channel predicted→measured maps (the
+  /// same families CAMAL's latency model uses; see `MakeModel`).
+  ModelKind model_kind = ModelKind::kTrees;
+  /// Seed of the per-channel regressors (each channel derives its own
+  /// stream from it, so fits are deterministic given the observations).
+  uint64_t seed = 1;
+  /// Observations a channel needs before `Fit` trains it; below the
+  /// floor the channel stays the identity (one point cannot say whether
+  /// the model is biased or the measurement was noise).
+  size_t min_observations = 2;
+};
+
+/// Learns, per cost channel, the mapping from the closed-form model's
+/// predicted per-op I/O cost to the cost the live engine actually
+/// measured — the residual between simulation and reality. Feed it
+/// (predicted, measured) pairs harvested from the engine's op-cost
+/// profiler windows (`engine::StorageEngine::ShardOpCostWindow`), call
+/// `Fit`, and attach it to any `CostModel` (directly, through
+/// `CalibratedCostModel`, or via `TunerOptions::cost_corrector`): every
+/// objective minimized over that model then optimizes *measured* cost.
+///
+/// Unfitted channels are the identity, so a freshly constructed (or
+/// under-observed) corrector is bit-identical to no corrector at all.
+/// `Correct` is const and pure; `Observe`/`Fit` are externally
+/// synchronized like everything else in the tuning layer.
+class ResidualCorrector : public model::CostCorrector {
+ public:
+  explicit ResidualCorrector(const ResidualCorrectorOptions& options = {});
+
+  /// Records one (predicted, measured) per-op-cost pair for `channel`.
+  void Observe(model::CostChannel channel, double predicted, double measured);
+
+  /// Trains every channel holding at least `min_observations` pairs;
+  /// channels below the floor stay (or revert to) the identity.
+  /// Deterministic: the fit depends only on the observation sequence and
+  /// the options seed. Callable repeatedly as observations accumulate.
+  void Fit();
+
+  /// CostCorrector: the channel regressor's prediction clamped to >= 0
+  /// (a corrected cost is still a cost); identity while unfitted.
+  double Correct(model::CostChannel channel, double predicted) const override;
+
+  bool fitted(model::CostChannel channel) const;
+  size_t observations(model::CostChannel channel) const;
+
+  const ResidualCorrectorOptions& options() const { return options_; }
+
+ private:
+  struct Channel {
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    std::unique_ptr<ml::Regressor> model;
+  };
+
+  ResidualCorrectorOptions options_;
+  std::array<Channel, model::kNumCostChannels> channels_;
+};
+
+}  // namespace camal::tune
+
+#endif  // CAMAL_CAMAL_RESIDUAL_CORRECTOR_H_

@@ -84,7 +84,7 @@ void ModelBackedTuner::ApplyIoDepthRecommendation(
     const model::WorkloadSpec& w, const model::SystemParams& target,
     TuningConfig* c) const {
   if (!options_.tune_io_depth) return;
-  const model::CostModel cm(target);
+  const model::CostModel cm(target, options_.cost_corrector.get());
   c->io_queue_depth = cm.RecommendedQueueDepth(
       w.Normalized(), c->ToModelConfig(), options_.max_io_queue_depth);
 }
@@ -92,7 +92,7 @@ void ModelBackedTuner::ApplyIoDepthRecommendation(
 std::vector<TuningConfig> ModelBackedTuner::CandidateGrid(
     const model::WorkloadSpec& /*w*/,
     const model::SystemParams& target) const {
-  const model::CostModel cm(target);
+  const model::CostModel cm(target, options_.cost_corrector.get());
   const int t_lim = static_cast<int>(std::floor(cm.SizeRatioLimit()));
   const double n = target.num_entries;
   const double m = target.total_memory_bits;
@@ -167,7 +167,7 @@ TuningConfig ModelBackedTuner::ArgminOverGrid(
   // Local refinement around the coarse winner: T +- 2 step 1, bpk +- 2
   // step 0.5, mc +- 5%. The window is anchored at the *coarse* winner
   // (`anchor`), not the running best, so it cannot creep outward.
-  const model::CostModel cm(target);
+  const model::CostModel cm(target, options_.cost_corrector.get());
   const double t_lim = cm.SizeRatioLimit();
   const double n = target.num_entries;
   const double m = target.total_memory_bits;
@@ -211,7 +211,7 @@ TuningConfig ModelBackedTuner::RecommendFor(
     const model::WorkloadSpec& w, const model::SystemParams& target) const {
   if (!has_model()) {
     // Untrained: fall back to the closed-form optimum.
-    const model::CostModel cm(target);
+    const model::CostModel cm(target, options_.cost_corrector.get());
     const model::TheoreticalOptimum opt =
         options_.tune_policy
             ? model::MinimizeCostOverPolicies(w, cm)

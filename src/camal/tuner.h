@@ -61,6 +61,14 @@ struct TunerOptions {
   /// scheduling.
   int threads = 0;
   uint64_t seed = 1;
+  /// Measured-cost corrector closed-form objectives are filtered through
+  /// (see `model::CostCorrector`): every `CostModel` a tuner builds for
+  /// pruning, refinement, or closed-form fallback applies it, so
+  /// recommendations minimize *calibrated* cost. Null (the default) is
+  /// the identity — bit-identical to the uncalibrated tuner. Shared:
+  /// tuners, the arbiter, and benches may hold the same corrector and
+  /// refit it as measurements accumulate.
+  std::shared_ptr<const model::CostCorrector> cost_corrector;
 };
 
 /// Common interface of all tuning strategies.

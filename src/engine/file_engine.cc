@@ -76,6 +76,14 @@ inline double NowNs() {
       .count();
 }
 
+/// Profiling-clock read: the injected virtual clock when one is
+/// configured, the steady monotonic clock otherwise. Every timing site of
+/// the engine reads through this so tests can make measured latencies
+/// deterministic.
+inline double Now(const FileEngineConfig& cfg) {
+  return cfg.clock_ns ? cfg.clock_ns() : NowNs();
+}
+
 /// An immutable cached block. Shared ownership lets cache hits hand the
 /// caller a reference instead of a copy (runs are append-only, so block
 /// bytes never change once read), and keeps a block a scan cursor holds
@@ -255,6 +263,7 @@ using fileio::EntriesPerBlock;
 using fileio::FileRun;
 using fileio::FileRunPtr;
 using fileio::kTombstoneFlag;
+using fileio::Now;
 using fileio::NowNs;
 using fileio::SysCheck;
 using fileio::ToEntry;
@@ -746,7 +755,7 @@ void ExecuteGetWindow(FileEngine::Shard& sh, const FileEngineConfig& cfg,
                       OpResult* results) {
   const uint64_t epb = EntriesPerBlock(cfg.block_bytes);
   const uint32_t depth = sh.io_depth;
-  const double t0 = NowNs();
+  const double t0 = Now(cfg);
 
   // Flattened probe order: runs newest-first within each level, levels
   // top-down — exactly the order DoGet walks.
@@ -931,7 +940,7 @@ void ExecuteGetWindow(FileEngine::Shard& sh, const FileEngineConfig& cfg,
     r.ios = ios;
     results[op_idx[si]] = r;
   }
-  const double dt = NowNs() - t0;
+  const double dt = Now(cfg) - t0;
   sh.clock.elapsed_ns += dt;
   const double per_op = dt / static_cast<double>(window);
   for (size_t si = 0; si < window; ++si) {
@@ -1087,7 +1096,7 @@ FileEngine::FileEngine(size_t num_shards, const lsm::Options& total_options,
   use_uring_ = config_.io_mode != IoMode::kPread && fileio::IoRingSupported();
 
   default_options_ = ShardedEngine::ShardOptions(total_options, num_shards);
-  shards_.resize(num_shards);  // all cold
+  num_shards_ = num_shards;  // no slots yet: all shards cold
   if (!config_.lifecycle.lazy) {
     for (size_t s = 0; s < num_shards; ++s) MaterializeShard(s);
   }
@@ -1095,8 +1104,8 @@ FileEngine::FileEngine(size_t num_shards, const lsm::Options& total_options,
 
 FileEngine::~FileEngine() {
   // Close every run fd before touching the directory tree.
-  for (auto& sh : shards_) {
-    if (sh == nullptr) continue;
+  for (auto& [s, sh] : shards_) {
+    (void)s;
     for (auto& level : sh->levels) level.clear();
   }
   if (config_.keep_files) return;
@@ -1106,21 +1115,33 @@ FileEngine::~FileEngine() {
   } else {
     // The caller owned the directory before us: remove only our shard
     // subtrees, never sibling content. Cold shards never created theirs.
-    for (const auto& sh : shards_) {
-      if (sh != nullptr) fs::remove_all(sh->dir, ec);
+    for (const auto& [s, sh] : shards_) {
+      (void)s;
+      fs::remove_all(sh->dir, ec);
     }
   }
 }
 
+FileEngine::Shard* FileEngine::ShardPtr(size_t s) {
+  const auto it = shards_.find(s);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+const FileEngine::Shard* FileEngine::ShardPtr(size_t s) const {
+  const auto it = shards_.find(s);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
 FileEngine::Shard& FileEngine::shard(size_t s) {
-  CAMAL_CHECK(s < shards_.size());
-  CAMAL_CHECK(shards_[s] != nullptr);
-  return *shards_[s];
+  CAMAL_CHECK(s < num_shards_);
+  Shard* sh = ShardPtr(s);
+  CAMAL_CHECK(sh != nullptr);
+  return *sh;
 }
 const FileEngine::Shard& FileEngine::shard(size_t s) const {
-  CAMAL_CHECK(s < shards_.size());
-  CAMAL_CHECK(shards_[s] != nullptr);
-  return *shards_[s];
+  CAMAL_CHECK(s < num_shards_);
+  const Shard* sh = ShardPtr(s);
+  CAMAL_CHECK(sh != nullptr);
+  return *sh;
 }
 
 const lsm::Options& FileEngine::EffectiveOptions(size_t s) const {
@@ -1129,15 +1150,14 @@ const lsm::Options& FileEngine::EffectiveOptions(size_t s) const {
 }
 
 FileEngine::Shard& FileEngine::MaterializeShard(size_t s) {
-  CAMAL_CHECK(s < shards_.size());
-  if (shards_[s] != nullptr) {
-    Shard& sh = *shards_[s];
-    if (sh.hibernated) {
-      WakeShardState(sh, config_, direct_io_, use_uring_);
+  CAMAL_CHECK(s < num_shards_);
+  if (Shard* existing = ShardPtr(s)) {
+    if (existing->hibernated) {
+      WakeShardState(*existing, config_, direct_io_, use_uring_);
       hibernated_.erase(s);
       resident_.insert(s);
     }
-    return sh;
+    return *existing;
   }
   auto sh = std::make_unique<Shard>();
   const auto it = cold_options_.find(s);
@@ -1151,9 +1171,10 @@ FileEngine::Shard& FileEngine::MaterializeShard(size_t s) {
   sh->scratch = AllocAligned(config_.block_bytes, config_.block_bytes);
   sh->io_depth = 0;  // force SetupShardRing to resolve from scratch
   SetupShardRing(*sh, config_, use_uring_);
-  shards_[s] = std::move(sh);
+  Shard& live = *sh;
+  shards_.emplace(s, std::move(sh));
   resident_.insert(s);
-  return *shards_[s];
+  return live;
 }
 
 void FileEngine::HibernateShardAt(size_t s) {
@@ -1170,7 +1191,7 @@ void FileEngine::WakeAllHibernated() {
 
 void FileEngine::Touch(size_t s) {
   if (config_.lifecycle.hibernate_after_batches == 0) return;
-  Shard& sh = *shards_[s];
+  Shard& sh = *shards_.at(s);
   if (sh.last_touch_epoch == epoch_) return;
   sh.last_touch_epoch = epoch_;
   idle_queue_.emplace_back(s, epoch_);
@@ -1184,18 +1205,18 @@ void FileEngine::HibernateIdleShards() {
     idle_queue_.pop_front();
     // Lazy deletion: only the newest timer of a still-resident shard
     // hibernates it.
-    if (shards_[s] != nullptr && !shards_[s]->hibernated &&
-        shards_[s]->last_touch_epoch == touched) {
+    const Shard* sh = ShardPtr(s);
+    if (sh != nullptr && !sh->hibernated && sh->last_touch_epoch == touched) {
       HibernateShardAt(s);
     }
   }
 }
 
-size_t FileEngine::NumShards() const { return shards_.size(); }
+size_t FileEngine::NumShards() const { return num_shards_; }
 
 size_t FileEngine::ShardIndex(uint64_t key) const {
-  if (shards_.size() == 1) return 0;
-  return static_cast<size_t>(util::Mix64(key) % shards_.size());
+  if (num_shards_ == 1) return 0;
+  return static_cast<size_t>(util::Mix64(key) % num_shards_);
 }
 
 // ------------------------------------------------------------ public surface
@@ -1204,38 +1225,38 @@ void FileEngine::Put(uint64_t key, uint64_t value) {
   const size_t s = ShardIndex(key);
   Shard& sh = MaterializeShard(s);
   Touch(s);
-  const double t0 = NowNs();
+  const double t0 = Now(config_);
   DoPut(sh, config_, direct_io_, key, value, /*tombstone=*/false);
-  sh.clock.elapsed_ns += NowNs() - t0;
+  sh.clock.elapsed_ns += Now(config_) - t0;
 }
 
 void FileEngine::Delete(uint64_t key) {
   const size_t s = ShardIndex(key);
   Shard& sh = MaterializeShard(s);
   Touch(s);
-  const double t0 = NowNs();
+  const double t0 = Now(config_);
   DoPut(sh, config_, direct_io_, key, 0, /*tombstone=*/true);
-  sh.clock.elapsed_ns += NowNs() - t0;
+  sh.clock.elapsed_ns += Now(config_) - t0;
 }
 
 bool FileEngine::Get(uint64_t key, uint64_t* value) {
   const size_t s = ShardIndex(key);
   Shard& sh = MaterializeShard(s);
   Touch(s);
-  const double t0 = NowNs();
+  const double t0 = Now(config_);
   const bool found = DoGet(sh, config_, key, value);
-  sh.clock.elapsed_ns += NowNs() - t0;
+  sh.clock.elapsed_ns += Now(config_) - t0;
   return found;
 }
 
 size_t FileEngine::Scan(uint64_t start_key, size_t max_entries,
                         std::vector<lsm::Entry>* out) {
-  if (shards_.size() == 1) {
+  if (num_shards_ == 1) {
     Shard& sh = MaterializeShard(0);
     Touch(0);
-    const double t0 = NowNs();
+    const double t0 = Now(config_);
     const size_t n = DoScanShard(sh, config_, start_key, max_entries, out);
-    sh.clock.elapsed_ns += NowNs() - t0;
+    sh.clock.elapsed_ns += Now(config_) - t0;
     return n;
   }
   if (max_entries == 0) return 0;
@@ -1249,13 +1270,18 @@ size_t FileEngine::Scan(uint64_t start_key, size_t max_entries,
 
   // Scatter: every resident shard contributes its own sorted slice (key
   // sets are hash-partitioned and disjoint), each probe timed on its own
-  // clock.
+  // clock. Shard slots resolve before the fan-out — workers never touch
+  // the shard map.
+  std::vector<Shard*> probed_slot(probed.size());
+  for (size_t k = 0; k < probed.size(); ++k) {
+    probed_slot[k] = shards_.at(probed[k]).get();
+  }
   std::vector<std::vector<lsm::Entry>> slices(probed.size());
   util::ParallelFor(pool_, 0, probed.size(), [&](size_t k) {
-    Shard& sh = *shards_[probed[k]];
-    const double t0 = NowNs();
+    Shard& sh = *probed_slot[k];
+    const double t0 = Now(config_);
     DoScanShard(sh, config_, start_key, max_entries, &slices[k]);
-    sh.clock.elapsed_ns += NowNs() - t0;
+    sh.clock.elapsed_ns += Now(config_) - t0;
   });
 
   // Gather: binary-heap k-way merge of the disjoint sorted slices.
@@ -1327,8 +1353,15 @@ void FileEngine::ExecuteOps(const Op* ops, size_t count, OpResult* results) {
   std::vector<uint64_t> scan_ios(num_scans * stride, 0);
   std::vector<size_t> scan_hits(num_scans * stride, 0);
 
+  // Resolve shard slots before the fan-out: every listed shard is
+  // materialized (pass 1), and workers must never touch the shard map.
+  std::vector<Shard*> list_slot(lists.size());
+  for (size_t k = 0; k < lists.size(); ++k) {
+    list_slot[k] = shards_.at(list_shard[k]).get();
+  }
+
   util::ParallelFor(pool_, 0, lists.size(), [&](size_t k) {
-    Shard& sh = *shards_[list_shard[k]];
+    Shard& sh = *list_slot[k];
     std::vector<lsm::Entry> scratch;
     const std::vector<size_t>& list = lists[k];
     for (size_t li = 0; li < list.size();) {
@@ -1350,13 +1383,13 @@ void FileEngine::ExecuteOps(const Op* ops, size_t count, OpResult* results) {
       }
       ++li;
       const uint64_t ios_before = sh.clock.block_reads + sh.clock.block_writes;
-      const double t0 = NowNs();
+      const double t0 = Now(config_);
       if (op.kind == OpKind::kScan) {
         const size_t slot = scan_slot[i] * stride + k;
         scratch.clear();
         scan_hits[slot] =
             DoScanShard(sh, config_, op.key, op.scan_len, &scratch);
-        const double dt = NowNs() - t0;
+        const double dt = Now(config_) - t0;
         scan_ns[slot] = dt;
         scan_ios[slot] =
             sh.clock.block_reads + sh.clock.block_writes - ios_before;
@@ -1377,7 +1410,7 @@ void FileEngine::ExecuteOps(const Op* ops, size_t count, OpResult* results) {
         case OpKind::kScan:
           break;  // handled above
       }
-      const double dt = NowNs() - t0;
+      const double dt = Now(config_) - t0;
       r.latency_ns = dt;
       r.ios = sh.clock.block_reads + sh.clock.block_writes - ios_before;
       sh.clock.elapsed_ns += dt;
@@ -1403,6 +1436,7 @@ void FileEngine::ExecuteOps(const Op* ops, size_t count, OpResult* results) {
   }
 
   if (config_.lifecycle.hibernate_after_batches != 0) HibernateIdleShards();
+  ProfileBatch(ops, count, results);
 }
 
 void FileEngine::FlushMemtable() {
@@ -1411,33 +1445,43 @@ void FileEngine::FlushMemtable() {
   // empty by construction.
   std::vector<size_t> wake;
   for (size_t s : hibernated_) {
-    if (shards_[s]->hib_memtable_size > 0) wake.push_back(s);
+    if (shards_.at(s)->hib_memtable_size > 0) wake.push_back(s);
   }
   for (size_t s : wake) {
     MaterializeShard(s);
     Touch(s);
   }
   for (size_t s : resident_) {
-    Shard& sh = *shards_[s];
-    const double t0 = NowNs();
+    Shard& sh = *shards_.at(s);
+    const double t0 = Now(config_);
     FlushShard(sh, config_, direct_io_);
-    sh.clock.elapsed_ns += NowNs() - t0;
+    sh.clock.elapsed_ns += Now(config_) - t0;
   }
 }
 
 void FileEngine::Reconfigure(const lsm::Options& new_total_options) {
   const lsm::Options per_shard =
-      ShardedEngine::ShardOptions(new_total_options, shards_.size());
+      ShardedEngine::ShardOptions(new_total_options, num_shards_);
   default_options_ = per_shard;
   cold_options_.clear();
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (shards_[s] != nullptr) ReconfigureShard(s, per_shard);
+  // Touched shards reconfigure now; untouched (cold) ones pick the new
+  // default up at materialization. Gather ids first: the hibernated
+  // overflow path inside ReconfigureShard may wake a shard, which
+  // mutates the lifecycle sets but never the map itself — still, never
+  // iterate a container while callees update its siblings.
+  std::vector<size_t> touched;
+  touched.reserve(shards_.size());
+  for (const auto& [s, sh] : shards_) {
+    (void)sh;
+    touched.push_back(s);
   }
+  for (size_t s : touched) ReconfigureShard(s, per_shard);
 }
 
 void FileEngine::ReconfigureShard(size_t s, const lsm::Options& options) {
-  CAMAL_CHECK(s < shards_.size());
-  if (shards_[s] == nullptr) {
+  CAMAL_CHECK(s < num_shards_);
+  Shard* slot = ShardPtr(s);
+  if (slot == nullptr) {
     // Deferred: a cold shard is an empty file set, and reconfiguring an
     // empty shard is observationally identical to materializing it with
     // the new options in the first place.
@@ -1445,7 +1489,7 @@ void FileEngine::ReconfigureShard(size_t s, const lsm::Options& options) {
     cold_options_[s] = options;
     return;
   }
-  Shard& sh = *shards_[s];
+  Shard& sh = *slot;
   CAMAL_CHECK(options.entry_bytes == sh.options.entry_bytes);
   if (sh.hibernated) {
     // In-place update while asleep, unless the buffered writes now
@@ -1456,7 +1500,7 @@ void FileEngine::ReconfigureShard(size_t s, const lsm::Options& options) {
     MaterializeShard(s);
     Touch(s);
   }
-  const double t0 = NowNs();
+  const double t0 = Now(config_);
   sh.options = options;
   // The cache resizes immediately; a memtable over the new buffer
   // capacity flushes now; run files converge lazily through subsequent
@@ -1469,45 +1513,46 @@ void FileEngine::ReconfigureShard(size_t s, const lsm::Options& options) {
   // (no-op otherwise). Counters stay identical at any depth, so the
   // tuner may retune this knob mid-run like any other.
   SetupShardRing(sh, config_, use_uring_);
-  sh.clock.elapsed_ns += NowNs() - t0;
+  sh.clock.elapsed_ns += Now(config_) - t0;
 }
 
 uint32_t FileEngine::ShardQueueDepth(size_t s) const {
-  CAMAL_CHECK(s < shards_.size());
-  if (shards_[s] != nullptr && !shards_[s]->hibernated) {
-    return shards_[s]->ring != nullptr ? shards_[s]->io_depth : 1;
+  CAMAL_CHECK(s < num_shards_);
+  const Shard* sh = ShardPtr(s);
+  if (sh != nullptr && !sh->hibernated) {
+    return sh->ring != nullptr ? sh->io_depth : 1;
   }
   // Cold/hibernated: predict the depth materialization will resolve.
   const lsm::Options& options =
-      shards_[s] != nullptr ? shards_[s]->options : EffectiveOptions(s);
+      sh != nullptr ? sh->options : EffectiveOptions(s);
   const uint32_t depth = ResolvedQueueDepth(options, config_);
   return RingWouldEngage(depth, config_, use_uring_) ? depth : 1;
 }
 
 const char* FileEngine::io_backend() const {
   for (size_t s : resident_) {
-    if (shards_[s]->ring != nullptr) return "uring";
+    if (shards_.at(s)->ring != nullptr) return "uring";
   }
   // No live ring: predict whether any cold/hibernated shard would engage
   // one on materialization. All such shards run either their recorded
   // options or the engine default, so checking hibernated shards plus one
   // representative of each cold configuration covers every case without
   // an O(total shards) walk.
-  if (use_uring_ && resident_.size() < shards_.size()) {
+  if (use_uring_ && resident_.size() < num_shards_) {
     auto engages = [&](const lsm::Options& options) {
       return RingWouldEngage(ResolvedQueueDepth(options, config_), config_,
                              use_uring_);
     };
     for (size_t s : hibernated_) {
-      if (engages(shards_[s]->options)) return "uring";
+      if (engages(shards_.at(s)->options)) return "uring";
     }
     const size_t awake = resident_.size() + hibernated_.size();
-    if (awake < shards_.size()) {
+    if (awake < num_shards_) {
       for (const auto& [s, options] : cold_options_) {
         (void)s;
         if (engages(options)) return "uring";
       }
-      if (cold_options_.size() < shards_.size() - awake &&
+      if (cold_options_.size() < num_shards_ - awake &&
           engages(default_options_)) {
         return "uring";
       }
@@ -1517,15 +1562,16 @@ const char* FileEngine::io_backend() const {
 }
 
 lsm::Options FileEngine::ShardOptionsSnapshot(size_t s) const {
-  CAMAL_CHECK(s < shards_.size());
-  return shards_[s] != nullptr ? shards_[s]->options : EffectiveOptions(s);
+  CAMAL_CHECK(s < num_shards_);
+  const Shard* sh = ShardPtr(s);
+  return sh != nullptr ? sh->options : EffectiveOptions(s);
 }
 
 ShardState FileEngine::ShardLifecycle(size_t s) const {
-  CAMAL_CHECK(s < shards_.size());
-  if (shards_[s] == nullptr) return ShardState::kCold;
-  return shards_[s]->hibernated ? ShardState::kHibernated
-                                : ShardState::kMaterialized;
+  CAMAL_CHECK(s < num_shards_);
+  const Shard* sh = ShardPtr(s);
+  if (sh == nullptr) return ShardState::kCold;
+  return sh->hibernated ? ShardState::kHibernated : ShardState::kMaterialized;
 }
 
 void FileEngine::AppendResidentShards(std::vector<size_t>* out) const {
@@ -1533,37 +1579,47 @@ void FileEngine::AppendResidentShards(std::vector<size_t>* out) const {
 }
 
 sim::DeviceSnapshot FileEngine::CostSnapshot() const {
-  sim::DeviceSnapshot total;
-  for (const auto& sh : shards_) {
-    if (sh != nullptr) total += sh->clock.Snapshot();
+  // Ascending shard order, matching the simulated engine's convention
+  // (clock values here are real measurements, but a stable summation
+  // order keeps the aggregate reproducible given fixed per-shard clocks —
+  // e.g. under an injected virtual clock).
+  std::vector<size_t> ids;
+  ids.reserve(shards_.size());
+  for (const auto& [s, sh] : shards_) {
+    (void)sh;
+    ids.push_back(s);
   }
+  std::sort(ids.begin(), ids.end());
+  sim::DeviceSnapshot total;
+  for (size_t s : ids) total += shards_.at(s)->clock.Snapshot();
   return total;
 }
 
 sim::DeviceSnapshot FileEngine::ShardCostSnapshot(size_t s) const {
-  CAMAL_CHECK(s < shards_.size());
-  if (shards_[s] == nullptr) return sim::DeviceSnapshot{};
-  return shards_[s]->clock.Snapshot();
+  CAMAL_CHECK(s < num_shards_);
+  const Shard* sh = ShardPtr(s);
+  return sh == nullptr ? sim::DeviceSnapshot{} : sh->clock.Snapshot();
 }
 
 EngineCounters FileEngine::AggregateCounters() const {
   EngineCounters total;
-  for (const auto& sh : shards_) {
-    if (sh != nullptr) total += sh->counters;
+  for (const auto& [s, sh] : shards_) {
+    (void)s;
+    total += sh->counters;
   }
   return total;
 }
 
 EngineCounters FileEngine::ShardCounters(size_t s) const {
-  CAMAL_CHECK(s < shards_.size());
-  if (shards_[s] == nullptr) return EngineCounters{};
-  return shards_[s]->counters;
+  CAMAL_CHECK(s < num_shards_);
+  const Shard* sh = ShardPtr(s);
+  return sh == nullptr ? EngineCounters{} : sh->counters;
 }
 
 uint64_t FileEngine::TotalEntries() const {
   uint64_t total = 0;
-  for (const auto& sh : shards_) {
-    if (sh == nullptr) continue;
+  for (const auto& [s, sh] : shards_) {
+    (void)s;
     total += sh->disk_entries +
              (sh->hibernated ? sh->hib_memtable_size : sh->memtable.size());
   }
@@ -1572,23 +1628,25 @@ uint64_t FileEngine::TotalEntries() const {
 
 uint64_t FileEngine::DiskEntries() const {
   uint64_t total = 0;
-  for (const auto& sh : shards_) {
-    if (sh != nullptr) total += sh->disk_entries;
+  for (const auto& [s, sh] : shards_) {
+    (void)s;
+    total += sh->disk_entries;
   }
   return total;
 }
 
 uint64_t FileEngine::ShardEntries(size_t s) const {
-  CAMAL_CHECK(s < shards_.size());
-  if (shards_[s] == nullptr) return 0;
-  const Shard& sh = *shards_[s];
+  CAMAL_CHECK(s < num_shards_);
+  const Shard* slot = ShardPtr(s);
+  if (slot == nullptr) return 0;
+  const Shard& sh = *slot;
   return sh.disk_entries +
          (sh.hibernated ? sh.hib_memtable_size : sh.memtable.size());
 }
 
 bool FileEngine::InTransition() const {
-  for (const auto& sh : shards_) {
-    if (sh == nullptr) continue;
+  for (const auto& [s, sh] : shards_) {
+    (void)s;
     if (sh->hibernated) {
       // Judge the frozen shape against the (possibly updated-in-place)
       // options, mirroring the live LevelViolates checks.
@@ -1613,9 +1671,10 @@ bool FileEngine::InTransition() const {
 }
 
 size_t FileEngine::ShardRunCount(size_t s) const {
-  CAMAL_CHECK(s < shards_.size());
-  if (shards_[s] == nullptr) return 0;
-  const Shard& sh = *shards_[s];
+  CAMAL_CHECK(s < num_shards_);
+  const Shard* slot = ShardPtr(s);
+  if (slot == nullptr) return 0;
+  const Shard& sh = *slot;
   if (sh.hibernated) {
     size_t runs = 0;
     for (const auto& [count, entries] : sh.hib_level_shape) {

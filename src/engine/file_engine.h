@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -64,6 +66,13 @@ struct FileEngineConfig {
   /// ring path (1 = no overlap). Per-shard `lsm::Options::io_queue_depth`
   /// overrides this when nonzero — that is the knob the tuner drives.
   uint32_t io_queue_depth = 1;
+  /// Injectable time source for the profiling clocks, in nanoseconds.
+  /// Null (the default) reads the steady monotonic clock. Tests inject a
+  /// virtual clock here so measured latencies — and everything downstream
+  /// of them: cost-profiler windows, calibration fits, racing verdicts —
+  /// are deterministic instead of real-time-dependent. Logical results
+  /// and I/O *counts* never depend on the clock.
+  std::function<double()> clock_ns;
   /// Shard lifecycle: lazy instantiation (a cold shard holds no memtable,
   /// Bloom filters, cache, scratch buffers, or file descriptors) and
   /// idle-shard hibernation (a hibernated shard persists its in-memory
@@ -216,6 +225,11 @@ class FileEngine : public StorageEngine {
   Shard& shard(size_t s);
   const Shard& shard(size_t s) const;
 
+  /// Slot lookup in the hashed active-shard map: the live shard, or null
+  /// for a cold shard (no entry).
+  Shard* ShardPtr(size_t s);
+  const Shard* ShardPtr(size_t s) const;
+
   /// The options shard `s` will materialize with while it is cold.
   const lsm::Options& EffectiveOptions(size_t s) const;
 
@@ -242,7 +256,12 @@ class FileEngine : public StorageEngine {
   bool direct_io_ = false;
   bool use_uring_ = false;
   lsm::Options default_options_;
-  std::vector<std::unique_ptr<Shard>> shards_;  // null entry = cold shard
+  /// Hashed active-shard map: an entry exists only for shards that have
+  /// been materialized at least once (live or hibernated), so engine
+  /// memory is O(active) even at a million mostly-cold tenants. No entry
+  /// = cold shard.
+  std::unordered_map<size_t, std::unique_ptr<Shard>> shards_;
+  size_t num_shards_ = 0;
   /// Options applied to a shard while cold, pending materialization.
   std::map<size_t, lsm::Options> cold_options_;
   /// Materialized shard ids, ascending (scan probe order).

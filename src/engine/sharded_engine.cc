@@ -92,7 +92,7 @@ ShardedEngine::ShardedEngine(size_t num_shards,
       lifecycle_(lifecycle) {
   CAMAL_CHECK(num_shards >= 1);
   CAMAL_CHECK(default_options_.Validate().ok());
-  shards_.resize(num_shards);
+  num_shards_ = num_shards;
   if (!lifecycle_.lazy) {
     for (size_t s = 0; s < num_shards; ++s) MaterializeShard(s);
   }
@@ -112,8 +112,8 @@ lsm::Options ShardedEngine::ShardOptions(const lsm::Options& total,
 }
 
 size_t ShardedEngine::ShardIndex(uint64_t key) const {
-  if (shards_.size() == 1) return 0;
-  return static_cast<size_t>(util::Mix64(key) % shards_.size());
+  if (num_shards_ == 1) return 0;
+  return static_cast<size_t>(util::Mix64(key) % num_shards_);
 }
 
 const lsm::Options& ShardedEngine::EffectiveOptions(size_t s) const {
@@ -184,7 +184,9 @@ void ShardedEngine::HibernateIdleShards() {
     // Lazy deletion: only the newest timer for a still-resident shard
     // hibernates it; stale entries (shard re-touched or already asleep)
     // fall through.
-    if (shards_[s].tree != nullptr && shards_[s].last_touch_epoch == touched) {
+    const auto it = shards_.find(s);
+    if (it != shards_.end() && it->second.tree != nullptr &&
+        it->second.last_touch_epoch == touched) {
       HibernateShard(s);
     }
   }
@@ -192,42 +194,48 @@ void ShardedEngine::HibernateIdleShards() {
 
 void ShardedEngine::Put(uint64_t key, uint64_t value) {
   const size_t s = ShardIndex(key);
-  MaterializeShard(s);
+  lsm::LsmTree* tree = MaterializeShard(s);
   Touch(s);
-  shards_[s].tree->Put(key, value);
+  tree->Put(key, value);
 }
 
 void ShardedEngine::Delete(uint64_t key) {
   const size_t s = ShardIndex(key);
-  MaterializeShard(s);
+  lsm::LsmTree* tree = MaterializeShard(s);
   Touch(s);
-  shards_[s].tree->Delete(key);
+  tree->Delete(key);
 }
 
 bool ShardedEngine::Get(uint64_t key, uint64_t* value) {
   const size_t s = ShardIndex(key);
-  MaterializeShard(s);
+  lsm::LsmTree* tree = MaterializeShard(s);
   Touch(s);
-  return shards_[s].tree->Get(key, value);
+  return tree->Get(key, value);
 }
 
 void ShardedEngine::ScatterScan(const std::vector<size_t>& probed,
                                 uint64_t start_key, size_t max_entries,
                                 std::vector<std::vector<lsm::Entry>>* slices) {
   // Each probe touches only its own shard's tree and device, so the fan-out
-  // is deterministic: shard-local cost is independent of scheduling.
+  // is deterministic: shard-local cost is independent of scheduling. Tree
+  // pointers are resolved before the fan-out — workers never touch the
+  // shard map itself.
   slices->assign(probed.size(), {});
+  std::vector<lsm::LsmTree*> trees(probed.size());
+  for (size_t k = 0; k < probed.size(); ++k) {
+    trees[k] = shards_.at(probed[k]).tree.get();
+  }
   util::ParallelFor(pool_, 0, probed.size(), [&](size_t k) {
-    shards_[probed[k]].tree->Scan(start_key, max_entries, &(*slices)[k]);
+    trees[k]->Scan(start_key, max_entries, &(*slices)[k]);
   });
 }
 
 size_t ShardedEngine::Scan(uint64_t start_key, size_t max_entries,
                            std::vector<lsm::Entry>* out) {
-  if (shards_.size() == 1) {
-    MaterializeShard(0);
+  if (num_shards_ == 1) {
+    lsm::LsmTree* tree = MaterializeShard(0);
     Touch(0);
-    return shards_[0].tree->Scan(start_key, max_entries, out);
+    return tree->Scan(start_key, max_entries, out);
   }
   if (max_entries == 0) return 0;
 
@@ -321,9 +329,16 @@ void ShardedEngine::ExecuteOps(const Op* ops, size_t count,
   std::vector<sim::DeviceSnapshot> scan_after(num_scans * stride);
   std::vector<size_t> scan_counts(num_scans * stride, 0);
 
+  // Resolve shard slots before the fan-out: every listed shard is
+  // materialized (pass 1), and workers must never touch the shard map.
+  std::vector<Shard*> list_slot(lists.size());
+  for (size_t k = 0; k < lists.size(); ++k) {
+    list_slot[k] = &shards_.at(list_shard[k]);
+  }
+
   util::ParallelFor(pool_, 0, lists.size(), [&](size_t k) {
-    lsm::LsmTree* tree = shards_[list_shard[k]].tree.get();
-    sim::Device* dev = shards_[list_shard[k]].device.get();
+    lsm::LsmTree* tree = list_slot[k]->tree.get();
+    sim::Device* dev = list_slot[k]->device.get();
     std::vector<lsm::Entry> scratch;
     for (size_t i : lists[k]) {
       const Op& op = ops[i];
@@ -383,6 +398,7 @@ void ShardedEngine::ExecuteOps(const Op* ops, size_t count,
   }
 
   if (lifecycle_.hibernate_after_batches != 0) HibernateIdleShards();
+  ProfileBatch(ops, count, results);
 }
 
 void ShardedEngine::FlushMemtable() {
@@ -391,36 +407,36 @@ void ShardedEngine::FlushMemtable() {
   // empty by construction.
   std::vector<size_t> wake;
   for (size_t s : hibernated_) {
-    if (!shards_[s].frozen->memtable.empty()) wake.push_back(s);
+    if (!shards_.at(s).frozen->memtable.empty()) wake.push_back(s);
   }
   for (size_t s : wake) {
     MaterializeShard(s);
     Touch(s);
   }
-  for (size_t s : resident_) shards_[s].tree->FlushMemtable();
+  for (size_t s : resident_) shards_.at(s).tree->FlushMemtable();
 }
 
 void ShardedEngine::Reconfigure(const lsm::Options& new_total_options) {
-  const lsm::Options per_shard =
-      ShardOptions(new_total_options, shards_.size());
+  const lsm::Options per_shard = ShardOptions(new_total_options, num_shards_);
   default_options_ = per_shard;
   cold_options_.clear();
-  for (size_t s : resident_) shards_[s].tree->Reconfigure(per_shard);
+  for (size_t s : resident_) shards_.at(s).tree->Reconfigure(per_shard);
   for (size_t s : hibernated_) {
-    ReconfigureFrozen(shards_[s].frozen.get(), per_shard,
-                      shards_[s].device->config().block_bytes);
+    Shard& sh = shards_.at(s);
+    ReconfigureFrozen(sh.frozen.get(), per_shard,
+                      sh.device->config().block_bytes);
   }
 }
 
 void ShardedEngine::ReconfigureShard(size_t shard,
                                      const lsm::Options& options) {
-  CAMAL_CHECK(shard < shards_.size());
-  Shard& s = shards_[shard];
-  if (s.tree != nullptr) {
-    s.tree->Reconfigure(options);
-  } else if (s.frozen != nullptr) {
-    ReconfigureFrozen(s.frozen.get(), options,
-                      s.device->config().block_bytes);
+  CAMAL_CHECK(shard < num_shards_);
+  const auto it = shards_.find(shard);
+  if (it != shards_.end() && it->second.tree != nullptr) {
+    it->second.tree->Reconfigure(options);
+  } else if (it != shards_.end() && it->second.frozen != nullptr) {
+    ReconfigureFrozen(it->second.frozen.get(), options,
+                      it->second.device->config().block_bytes);
   } else {
     // Deferred: a cold shard is an empty tree, and reconfiguring an empty
     // tree is observationally identical to constructing it with the new
@@ -430,18 +446,22 @@ void ShardedEngine::ReconfigureShard(size_t shard,
 }
 
 lsm::Options ShardedEngine::ShardOptionsSnapshot(size_t shard) const {
-  CAMAL_CHECK(shard < shards_.size());
-  const Shard& s = shards_[shard];
-  if (s.tree != nullptr) return s.tree->options();
-  if (s.frozen != nullptr) return s.frozen->options;
+  CAMAL_CHECK(shard < num_shards_);
+  const auto it = shards_.find(shard);
+  if (it != shards_.end()) {
+    if (it->second.tree != nullptr) return it->second.tree->options();
+    if (it->second.frozen != nullptr) return it->second.frozen->options;
+  }
   return EffectiveOptions(shard);
 }
 
 ShardState ShardedEngine::ShardLifecycle(size_t shard) const {
-  CAMAL_CHECK(shard < shards_.size());
-  const Shard& s = shards_[shard];
-  if (s.tree != nullptr) return ShardState::kMaterialized;
-  if (s.frozen != nullptr) return ShardState::kHibernated;
+  CAMAL_CHECK(shard < num_shards_);
+  const auto it = shards_.find(shard);
+  if (it != shards_.end()) {
+    if (it->second.tree != nullptr) return ShardState::kMaterialized;
+    if (it->second.frozen != nullptr) return ShardState::kHibernated;
+  }
   return ShardState::kCold;
 }
 
@@ -450,24 +470,36 @@ void ShardedEngine::AppendResidentShards(std::vector<size_t>* out) const {
 }
 
 sim::DeviceSnapshot ShardedEngine::CostSnapshot() const {
-  // Ascending shard order; shards with no device yet have charged nothing
-  // and contribute the same exact zeros their fresh device would.
-  sim::DeviceSnapshot total;
-  for (const Shard& shard : shards_) {
-    if (shard.device != nullptr) total += shard.device->Snapshot();
+  // Ascending shard order — the floating-point sum must be reproducible,
+  // and the hashed map iterates in no useful order, so the touched shard
+  // ids are sorted first (O(active log active)). Shards with no entry (or
+  // no device yet) have charged nothing and contribute the same exact
+  // zeros their fresh device would.
+  std::vector<size_t> ids;
+  ids.reserve(shards_.size());
+  for (const auto& [s, shard] : shards_) {
+    if (shard.device != nullptr) ids.push_back(s);
   }
+  std::sort(ids.begin(), ids.end());
+  sim::DeviceSnapshot total;
+  for (size_t s : ids) total += shards_.at(s).device->Snapshot();
   return total;
 }
 
 sim::DeviceSnapshot ShardedEngine::ShardCostSnapshot(size_t shard) const {
-  CAMAL_CHECK(shard < shards_.size());
-  if (shards_[shard].device == nullptr) return sim::DeviceSnapshot{};
-  return shards_[shard].device->Snapshot();
+  CAMAL_CHECK(shard < num_shards_);
+  const auto it = shards_.find(shard);
+  if (it == shards_.end() || it->second.device == nullptr) {
+    return sim::DeviceSnapshot{};
+  }
+  return it->second.device->Snapshot();
 }
 
 EngineCounters ShardedEngine::AggregateCounters() const {
+  // Integer sums are order-free, so the map iterates directly.
   EngineCounters total;
-  for (const Shard& shard : shards_) {
+  for (const auto& [s, shard] : shards_) {
+    (void)s;
     if (shard.tree != nullptr) {
       total += shard.tree->counters();
     } else if (shard.frozen != nullptr) {
@@ -478,16 +510,19 @@ EngineCounters ShardedEngine::AggregateCounters() const {
 }
 
 EngineCounters ShardedEngine::ShardCounters(size_t shard) const {
-  CAMAL_CHECK(shard < shards_.size());
-  const Shard& s = shards_[shard];
-  if (s.tree != nullptr) return s.tree->counters();
-  if (s.frozen != nullptr) return s.frozen->counters;
+  CAMAL_CHECK(shard < num_shards_);
+  const auto it = shards_.find(shard);
+  if (it != shards_.end()) {
+    if (it->second.tree != nullptr) return it->second.tree->counters();
+    if (it->second.frozen != nullptr) return it->second.frozen->counters;
+  }
   return EngineCounters{};
 }
 
 uint64_t ShardedEngine::TotalEntries() const {
   uint64_t total = 0;
-  for (const Shard& shard : shards_) {
+  for (const auto& [s, shard] : shards_) {
+    (void)s;
     if (shard.tree != nullptr) {
       total += shard.tree->TotalEntries();
     } else if (shard.frozen != nullptr) {
@@ -499,7 +534,8 @@ uint64_t ShardedEngine::TotalEntries() const {
 
 uint64_t ShardedEngine::DiskEntries() const {
   uint64_t total = 0;
-  for (const Shard& shard : shards_) {
+  for (const auto& [s, shard] : shards_) {
+    (void)s;
     if (shard.tree != nullptr) {
       total += shard.tree->DiskEntries();
     } else if (shard.frozen != nullptr) {
@@ -510,15 +546,18 @@ uint64_t ShardedEngine::DiskEntries() const {
 }
 
 uint64_t ShardedEngine::ShardEntries(size_t shard) const {
-  CAMAL_CHECK(shard < shards_.size());
-  const Shard& s = shards_[shard];
-  if (s.tree != nullptr) return s.tree->TotalEntries();
-  if (s.frozen != nullptr) return s.frozen->total_entries;
+  CAMAL_CHECK(shard < num_shards_);
+  const auto it = shards_.find(shard);
+  if (it != shards_.end()) {
+    if (it->second.tree != nullptr) return it->second.tree->TotalEntries();
+    if (it->second.frozen != nullptr) return it->second.frozen->total_entries;
+  }
   return 0;
 }
 
 bool ShardedEngine::InTransition() const {
-  for (const Shard& shard : shards_) {
+  for (const auto& [s, shard] : shards_) {
+    (void)s;
     if (shard.tree != nullptr && shard.tree->InTransition()) return true;
     if (shard.frozen != nullptr && shard.frozen->transition_active) {
       return true;
@@ -528,14 +567,14 @@ bool ShardedEngine::InTransition() const {
 }
 
 lsm::LsmTree* ShardedEngine::shard(size_t i) {
-  CAMAL_CHECK(i < shards_.size());
+  CAMAL_CHECK(i < num_shards_);
   lsm::LsmTree* tree = MaterializeShard(i);
   Touch(i);
   return tree;
 }
 
 sim::Device* ShardedEngine::shard_device(size_t i) {
-  CAMAL_CHECK(i < shards_.size());
+  CAMAL_CHECK(i < num_shards_);
   return EnsureDevice(i);
 }
 

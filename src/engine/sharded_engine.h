@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/storage_engine.h"
@@ -110,7 +111,7 @@ class ShardedEngine : public StorageEngine {
   /// observationally identical to applying it now).
   void ReconfigureShard(size_t shard, const lsm::Options& options) override;
 
-  size_t NumShards() const override { return shards_.size(); }
+  size_t NumShards() const override { return num_shards_; }
   size_t ShardIndex(uint64_t key) const override;
 
   lsm::Options ShardOptionsSnapshot(size_t shard) const override;
@@ -182,7 +183,12 @@ class ShardedEngine : public StorageEngine {
                    size_t max_entries,
                    std::vector<std::vector<lsm::Entry>>* slices);
 
-  std::vector<Shard> shards_;
+  /// Hashed active-shard map: holds an entry only for shards that have
+  /// ever been touched (materialized, hibernated, or device-only), so
+  /// engine memory is O(active), not O(total) — a million cold tenants
+  /// cost nothing but this map's empty buckets.
+  std::unordered_map<size_t, Shard> shards_;
+  size_t num_shards_ = 0;
   lsm::Options default_options_;
   sim::DeviceConfig device_config_;
   ShardLifecycleConfig lifecycle_;

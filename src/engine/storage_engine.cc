@@ -34,6 +34,7 @@ void StorageEngine::ExecuteOps(const Op* ops, size_t count,
     r.ios = delta.TotalIos();
     results[i] = r;
   }
+  ProfileBatch(ops, count, results);
 }
 
 }  // namespace camal::engine

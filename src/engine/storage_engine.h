@@ -1,8 +1,10 @@
 #ifndef CAMAL_ENGINE_STORAGE_ENGINE_H_
 #define CAMAL_ENGINE_STORAGE_ENGINE_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "lsm/entry.h"
@@ -118,6 +120,37 @@ struct OpResult {
   /// report counts and costs only; use `Scan` directly when the entries
   /// themselves are needed.
   size_t scan_hits = 0;
+};
+
+/// Number of `OpKind` values — sizes per-kind aggregation arrays.
+inline constexpr size_t kNumOpKinds = 4;
+
+/// One always-on measurement window of a per-(shard, op-kind) cost
+/// profiler: how many ops of the kind the shard served since the last
+/// reset, and what they measurably cost. For simulated backends the
+/// costs are the bit-deterministic device clocks; for `FileEngine` they
+/// are real monotonic-clock latencies and real pread/pwrite block
+/// counts — the measured side of the sim-vs-real calibration loop.
+struct OpCostWindow {
+  uint64_t ops = 0;
+  uint64_t ios = 0;
+  double latency_ns = 0.0;
+
+  /// Measured blocks per operation (0 for an empty window).
+  double IosPerOp() const {
+    return ops == 0 ? 0.0 : static_cast<double>(ios) / static_cast<double>(ops);
+  }
+  /// Measured latency per operation in ns (0 for an empty window).
+  double LatencyPerOp() const {
+    return ops == 0 ? 0.0 : latency_ns / static_cast<double>(ops);
+  }
+
+  OpCostWindow& operator+=(const OpCostWindow& other) {
+    ops += other.ops;
+    ios += other.ios;
+    latency_ns += other.latency_ns;
+    return *this;
+  }
 };
 
 /// \brief Abstract key-value serving engine — the boundary between the
@@ -264,6 +297,31 @@ class StorageEngine {
     return CostSnapshot();
   }
 
+  /// Accumulated measurement window of one (shard, op kind) cell of the
+  /// always-on cost profiler — every op that flowed through `ExecuteOps`
+  /// since construction or the last `ResetOpCostWindows()`. Shards that
+  /// never served an op of the kind report an empty window. Scans are
+  /// attributed to the home shard of their start key (a deterministic
+  /// approximation: a scatter-gather scan's cost lands on one cell).
+  OpCostWindow ShardOpCostWindow(size_t shard, OpKind kind) const {
+    const auto it = op_cost_windows_.find(shard);
+    if (it == op_cost_windows_.end()) return OpCostWindow{};
+    return it->second[static_cast<size_t>(kind)];
+  }
+
+  /// Sum of one op kind's measurement windows across all shards.
+  OpCostWindow OpCostWindowTotal(OpKind kind) const {
+    OpCostWindow total;
+    for (const auto& [shard, cells] : op_cost_windows_) {
+      (void)shard;
+      total += cells[static_cast<size_t>(kind)];
+    }
+    return total;
+  }
+
+  /// Starts a fresh measurement window on every (shard, op kind) cell.
+  void ResetOpCostWindows() { op_cost_windows_.clear(); }
+
   /// Aggregate compaction/flush counters.
   virtual EngineCounters AggregateCounters() const = 0;
 
@@ -289,6 +347,27 @@ class StorageEngine {
   /// True while any shard's structure still violates its latest
   /// configuration.
   virtual bool InTransition() const = 0;
+
+ protected:
+  /// Folds one executed batch into the per-(shard, op-kind) measurement
+  /// windows. Implementations call this at the end of `ExecuteOps` with
+  /// the results they produced; the profiler only observes — it never
+  /// changes results, and its map is O(shards that served traffic).
+  void ProfileBatch(const Op* ops, size_t count, const OpResult* results) {
+    for (size_t i = 0; i < count; ++i) {
+      OpCostWindow& cell =
+          op_cost_windows_[ShardIndex(ops[i].key)][static_cast<size_t>(
+              ops[i].kind)];
+      cell.ops += 1;
+      cell.ios += results[i].ios;
+      cell.latency_ns += results[i].latency_ns;
+    }
+  }
+
+ private:
+  /// Sparse per-shard profiler cells (only shards that served traffic).
+  std::unordered_map<size_t, std::array<OpCostWindow, kNumOpKinds>>
+      op_cost_windows_;
 };
 
 }  // namespace camal::engine

@@ -8,9 +8,10 @@
 namespace camal::model {
 
 double OptimalShardCost(const WorkloadSpec& w_in, const SystemParams& params,
-                        const ModelConfig& shape, double mc_bits) {
+                        const ModelConfig& shape, double mc_bits,
+                        const CostCorrector* corrector) {
   const WorkloadSpec w = w_in.Normalized();
-  const CostModel model(params);
+  const CostModel model(params, corrector);
   ModelConfig c = shape;
   const double mf = OptimalMfBitsNumeric(w, model, c, mc_bits);
   c.mf_bits = mf;
@@ -22,12 +23,13 @@ double OptimalShardCost(const WorkloadSpec& w_in, const SystemParams& params,
 MemoryMarginal PriceMemoryDelta(const WorkloadSpec& w,
                                 const SystemParams& params,
                                 const ModelConfig& shape, double mc_frac,
-                                double delta_bits) {
+                                double delta_bits,
+                                const CostCorrector* corrector) {
   const double m = params.total_memory_bits;
   const auto cost_at = [&](double budget) {
     SystemParams p = params;
     p.total_memory_bits = budget;
-    return OptimalShardCost(w, p, shape, mc_frac * budget);
+    return OptimalShardCost(w, p, shape, mc_frac * budget, corrector);
   };
 
   MemoryMarginal out;

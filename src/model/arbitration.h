@@ -20,8 +20,11 @@ namespace camal::model {
 /// closed-form model does not price directly; it simply shrinks the
 /// buffer/filter budget) and the remainder is split optimally between Mb
 /// and Mf with `shape`'s size ratio, policy, and K held fixed.
+/// `corrector`, when non-null, calibrates the priced cost (see
+/// `CostCorrector`); null is the identity, bit-for-bit.
 double OptimalShardCost(const WorkloadSpec& w, const SystemParams& params,
-                        const ModelConfig& shape, double mc_bits);
+                        const ModelConfig& shape, double mc_bits,
+                        const CostCorrector* corrector = nullptr);
 
 /// Finite-difference marginal value of `delta_bits` of memory for one
 /// shard, at its optimal internal split.
@@ -40,7 +43,8 @@ struct MemoryMarginal {
 MemoryMarginal PriceMemoryDelta(const WorkloadSpec& w,
                                 const SystemParams& params,
                                 const ModelConfig& shape, double mc_frac,
-                                double delta_bits);
+                                double delta_bits,
+                                const CostCorrector* corrector = nullptr);
 
 }  // namespace camal::model
 

@@ -1,0 +1,11 @@
+#include "model/calibrated_cost_model.h"
+
+namespace camal::model {
+
+CalibratedCostModel MakeCalibratedModel(
+    const SystemParams& params,
+    std::shared_ptr<const CostCorrector> corrector) {
+  return CalibratedCostModel(params, std::move(corrector));
+}
+
+}  // namespace camal::model

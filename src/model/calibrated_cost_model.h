@@ -1,0 +1,42 @@
+#ifndef CAMAL_MODEL_CALIBRATED_COST_MODEL_H_
+#define CAMAL_MODEL_CALIBRATED_COST_MODEL_H_
+
+#include <memory>
+
+#include "model/cost_model.h"
+
+namespace camal::model {
+
+/// A `CostModel` bound to a corrector it owns — the value type for call
+/// sites that want corrected objectives without managing the corrector's
+/// lifetime separately (benches, tests). Everything else about the model
+/// is inherited unchanged: with an unfitted (identity) corrector the
+/// calibrated model's objectives are bit-identical to the plain model's.
+///
+/// Sites that already hold a corrector elsewhere (tuners via
+/// `TunerOptions::cost_corrector`, the arbiter via pricing parameters)
+/// construct plain `CostModel`s with the borrowed pointer instead.
+class CalibratedCostModel : public CostModel {
+ public:
+  CalibratedCostModel(const SystemParams& params,
+                      std::shared_ptr<const CostCorrector> corrector)
+      : CostModel(params, corrector.get()), owned_(std::move(corrector)) {}
+
+  const std::shared_ptr<const CostCorrector>& shared_corrector() const {
+    return owned_;
+  }
+
+ private:
+  std::shared_ptr<const CostCorrector> owned_;
+};
+
+/// Convenience: the calibrated model for `params` when `corrector` is set,
+/// else an uncorrected model (null correctors are the documented identity,
+/// so this is pure sugar for optional-calibration call sites).
+CalibratedCostModel MakeCalibratedModel(
+    const SystemParams& params,
+    std::shared_ptr<const CostCorrector> corrector);
+
+}  // namespace camal::model
+
+#endif  // CAMAL_MODEL_CALIBRATED_COST_MODEL_H_

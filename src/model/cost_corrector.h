@@ -1,0 +1,43 @@
+#ifndef CAMAL_MODEL_COST_CORRECTOR_H_
+#define CAMAL_MODEL_COST_CORRECTOR_H_
+
+#include <cstddef>
+
+namespace camal::model {
+
+/// The cost channels a measured-cost corrector can adjust independently —
+/// the three families of per-operation I/O cost the closed-form model
+/// prices (point lookups V/R, range lookups Q, amortized writes W). A
+/// corrector learns one predicted→measured mapping per channel, because the
+/// model's error modes differ per channel (e.g. Bloom-probe cache residency
+/// flatters point lookups while compaction write-back penalizes writes).
+enum class CostChannel : int {
+  kPointLookup = 0,
+  kRangeLookup = 1,
+  kWrite = 2,
+};
+
+inline constexpr size_t kNumCostChannels = 3;
+
+/// Maps a model-predicted per-op cost to a calibrated estimate of what the
+/// live system would measure. `CostModel` applies a corrector (when one is
+/// attached) to each cost term of its workload-weighted objectives, so
+/// everything that minimizes those objectives — tuner grids, arbiter
+/// pricing, closed-form optima — transparently optimizes *corrected* cost.
+///
+/// Implementations must be pure functions of (channel, predicted): the
+/// model may evaluate them any number of times in any order. An unfitted
+/// corrector should return `predicted` unchanged (the identity), which is
+/// also the contract of a detached (`nullptr`) corrector.
+class CostCorrector {
+ public:
+  virtual ~CostCorrector() = default;
+
+  /// Calibrated estimate of the measured per-op cost for a model
+  /// prediction of `predicted` on `channel`.
+  virtual double Correct(CostChannel channel, double predicted) const = 0;
+};
+
+}  // namespace camal::model
+
+#endif  // CAMAL_MODEL_COST_CORRECTOR_H_

@@ -42,8 +42,11 @@ double CostModel::WriteCost(const ModelConfig& c) const {
 }
 
 double CostModel::OpCost(const WorkloadSpec& w, const ModelConfig& c) const {
-  return w.v * ZeroResultLookupCost(c) + w.r * NonZeroResultLookupCost(c) +
-         w.q * RangeLookupCost(c) + w.w * WriteCost(c);
+  return w.v * Corrected(CostChannel::kPointLookup, ZeroResultLookupCost(c)) +
+         w.r * Corrected(CostChannel::kPointLookup,
+                         NonZeroResultLookupCost(c)) +
+         w.q * Corrected(CostChannel::kRangeLookup, RangeLookupCost(c)) +
+         w.w * Corrected(CostChannel::kWrite, WriteCost(c));
 }
 
 double CostModel::ReadFanout(const WorkloadSpec& w, const ModelConfig& c) const {
@@ -69,9 +72,13 @@ double CostModel::OverlapFactor(const WorkloadSpec& w,
 double CostModel::EffectiveOpCost(const WorkloadSpec& w,
                                   const ModelConfig& c) const {
   const double ov = OverlapFactor(w, c);
-  return ov * (w.v * ZeroResultLookupCost(c) +
-               w.r * NonZeroResultLookupCost(c) + w.q * RangeLookupCost(c)) +
-         w.w * WriteCost(c);
+  return ov * (w.v * Corrected(CostChannel::kPointLookup,
+                               ZeroResultLookupCost(c)) +
+               w.r * Corrected(CostChannel::kPointLookup,
+                               NonZeroResultLookupCost(c)) +
+               w.q * Corrected(CostChannel::kRangeLookup,
+                               RangeLookupCost(c))) +
+         w.w * Corrected(CostChannel::kWrite, WriteCost(c));
 }
 
 int CostModel::RecommendedQueueDepth(const WorkloadSpec& w,

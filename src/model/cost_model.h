@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "lsm/options.h"
+#include "model/cost_corrector.h"
 #include "model/workload_spec.h"
 
 namespace camal::model {
@@ -50,7 +51,17 @@ struct ModelConfig {
 /// K runs per level used by the Section 8.4 extension.
 class CostModel {
  public:
-  explicit CostModel(const SystemParams& params) : params_(params) {}
+  /// `corrector`, when non-null, maps each predicted cost term of the
+  /// workload-weighted objectives (`OpCost`, `EffectiveOpCost`) to its
+  /// calibrated measured-cost estimate; not owned, must outlive the model.
+  /// Null (the default) is the identity — bit-for-bit the uncalibrated
+  /// model. The per-operation primitives (V/R/Q/W) and the overlap terms
+  /// stay uncorrected: they are the model's *structural* quantities
+  /// (Bloom-probe fan-out, run counts) that calibration has no measured
+  /// counterpart for.
+  explicit CostModel(const SystemParams& params,
+                     const CostCorrector* corrector = nullptr)
+      : params_(params), corrector_(corrector) {}
 
   /// Continuous number of levels log_T(N*E/Mb + 1), floored at 1.
   double Levels(const ModelConfig& c) const;
@@ -99,12 +110,21 @@ class CostModel {
   double SizeRatioLimit() const;
 
   const SystemParams& params() const { return params_; }
+  const CostCorrector* corrector() const { return corrector_; }
 
  private:
   /// Effective runs per level: K if set, else policy default.
   double RunsPerLevel(const ModelConfig& c) const;
 
+  /// `x` through the attached corrector; the identity when detached (same
+  /// value, same floating-point expression — the uncalibrated objectives
+  /// stay bit-identical).
+  double Corrected(CostChannel channel, double x) const {
+    return corrector_ == nullptr ? x : corrector_->Correct(channel, x);
+  }
+
   SystemParams params_;
+  const CostCorrector* corrector_ = nullptr;
 };
 
 }  // namespace camal::model
