@@ -1,7 +1,9 @@
 #include "camal/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <memory>
 
 #include "camal/memory_arbiter.h"
@@ -16,6 +18,36 @@
 namespace camal::tune {
 
 using util::HashCombine;
+
+namespace {
+
+/// Maps the setup-level read-submission knob to the engine's enum.
+engine::IoMode ToIoMode(FileIoMode m) {
+  switch (m) {
+    case FileIoMode::kPread:
+      return engine::IoMode::kPread;
+    case FileIoMode::kUring:
+      return engine::IoMode::kUring;
+    case FileIoMode::kAuto:
+      return engine::IoMode::kAuto;
+  }
+  return engine::IoMode::kAuto;
+}
+
+/// Maps the setup-level WAL fsync knob to the engine's policy enum.
+engine::fileio::WalSyncPolicy ToWalSyncPolicy(FileWalSync s) {
+  switch (s) {
+    case FileWalSync::kNone:
+      return engine::fileio::WalSyncPolicy::kNone;
+    case FileWalSync::kBatch:
+      return engine::fileio::WalSyncPolicy::kBatch;
+    case FileWalSync::kAlways:
+      return engine::fileio::WalSyncPolicy::kAlways;
+  }
+  return engine::fileio::WalSyncPolicy::kNone;
+}
+
+}  // namespace
 
 Evaluator::Evaluator(const SystemSetup& setup) : setup_(setup) {
   ValidateOrDie(setup_);
@@ -43,19 +75,16 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
             : setup_.file_workdir + "/m_" +
                   std::to_string(engine::FileEngine::NextUniqueId());
     fcfg.workdir = base;
-    switch (setup_.io_mode) {
-      case FileIoMode::kPread:
-        fcfg.io_mode = engine::IoMode::kPread;
-        break;
-      case FileIoMode::kUring:
-        fcfg.io_mode = engine::IoMode::kUring;
-        break;
-      case FileIoMode::kAuto:
-        fcfg.io_mode = engine::IoMode::kAuto;
-        break;
-    }
+    fcfg.io_mode = ToIoMode(setup_.io_mode);
     fcfg.io_queue_depth = static_cast<uint32_t>(
         std::max(1, setup_.io_queue_depth));
+    // Durability knobs: manifest + WAL writes land outside the counted
+    // cost clocks, so I/O counters stay identical durable on or off.
+    fcfg.durable = setup_.file_durable;
+    fcfg.wal_sync = ToWalSyncPolicy(setup_.file_wal_sync);
+    // Recovery timing reopens this file set after the measured engine
+    // closes, so the measured engine must leave it behind.
+    if (setup_.measure_recovery) fcfg.keep_files = true;
     auto fe = std::make_unique<engine::FileEngine>(
         num_shards, config.ToOptions(setup_), fcfg);
     fe->set_pool(engine_pool_.get());
@@ -201,6 +230,36 @@ Measurement Evaluator::Measure(const model::WorkloadSpec& workload,
     }
   }
   m.total_cost_ns = build_ns + m.run_ns;
+  // Crash-free recovery timing: close the measured engine cleanly (WAL
+  // commit + fd close), then time a `reopen=true` construction over the
+  // same file set — manifest replay plus WAL tail replay, no run
+  // rebuilds. The file set is removed afterwards either way.
+  if (setup_.backend == EngineBackend::kFile && setup_.measure_recovery) {
+    const std::string dir =
+        static_cast<engine::FileEngine&>(eng).workdir();
+    arbiter.reset();  // drops the executor hook before its engine goes
+    owned.reset();    // clean close: the measured engine releases `dir`
+    engine::FileEngineConfig rcfg;
+    rcfg.workdir = dir;
+    rcfg.reopen = true;
+    rcfg.wal_sync = ToWalSyncPolicy(setup_.file_wal_sync);
+    rcfg.io_mode = ToIoMode(setup_.io_mode);
+    rcfg.io_queue_depth =
+        static_cast<uint32_t>(std::max(1, setup_.io_queue_depth));
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      engine::FileEngine reopened(num_shards, config.ToOptions(setup_),
+                                  rcfg);
+      m.recovery_ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    // The reopened engine removes its shard subtrees on destruction;
+    // sweep whatever shell of the unique measurement dir remains.
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
   return m;
 }
 

@@ -50,6 +50,12 @@ struct Measurement {
   double write_ios_predicted = 0.0;
   double write_ios_measured = 0.0;
   double write_ios_residual = 0.0;
+  /// Wall-clock ns of a crash-free recovery of the measured file set —
+  /// close cleanly, then reopen with manifest replay + WAL tail replay
+  /// (no run rebuilds). Only populated when
+  /// `SystemSetup::measure_recovery` is on; 0 otherwise. Real time, not
+  /// simulated: it varies run to run like every file-backend latency.
+  double recovery_ns = 0.0;
 };
 
 /// One (workload, config, salt) measurement request for batched

@@ -118,6 +118,26 @@ util::Status SystemSetup::Validate() const {
   if (io_queue_depth < 1 || io_queue_depth > 1024) {
     return Status::InvalidArgument("io_queue_depth must be in [1, 1024]");
   }
+  if (backend == EngineBackend::kSim && file_durable) {
+    return Status::InvalidArgument(
+        "file_durable is set but backend is kSim: the simulated backend "
+        "has no files to make durable (did you mean backend = kFile?)");
+  }
+  if (backend == EngineBackend::kSim && file_wal_sync != FileWalSync::kNone) {
+    return Status::InvalidArgument(
+        "file_wal_sync is set but backend is kSim: the simulated backend "
+        "writes no WAL to sync (did you mean backend = kFile?)");
+  }
+  if (!file_durable && file_wal_sync != FileWalSync::kNone) {
+    return Status::InvalidArgument(
+        "file_wal_sync is set but file_durable is off: there is no WAL "
+        "to apply the policy to (set file_durable = true)");
+  }
+  if (measure_recovery && !file_durable) {
+    return Status::InvalidArgument(
+        "measure_recovery needs file_durable: without a manifest + WAL "
+        "there is no recovery path to time (set file_durable = true)");
+  }
   if (serve_mode == ServeMode::kGateway && gateway_interarrival_ns <= 0.0) {
     return Status::InvalidArgument(
         "serve_mode = kGateway needs gateway_interarrival_ns > 0: "

@@ -43,6 +43,13 @@ enum class ServeMode { kClosedLoop, kGateway };
 /// or `kAuto` — ring only when the queue depth asks for overlap.
 enum class FileIoMode { kPread, kUring, kAuto };
 
+/// WAL fsync policy of durable `kFile` measurement engines (mirrors
+/// `engine::fileio::WalSyncPolicy`; the Evaluator maps it through):
+/// `kNone` — never fsync (clean-close durability only) — `kBatch` —
+/// one fsync per committed batch (group commit) — or `kAlways` — fsync
+/// every logged write.
+enum class FileWalSync { kNone, kBatch, kAlways };
+
 /// The experimental scale: data size, memory budget, device, and query
 /// volumes. One SystemSetup corresponds to one "database server" in the
 /// paper's evaluation.
@@ -114,6 +121,23 @@ struct SystemSetup {
   /// (block reads kept in flight per shard; 1 = no overlap). Per-shard
   /// tunings override it through `lsm::Options::io_queue_depth`.
   int io_queue_depth = 1;
+  /// When true, `kFile` measurement engines run with the durability
+  /// subsystem on (per-shard manifest + WAL). Off — the default — is
+  /// bit-identical in I/O counters to the pre-durability evaluator;
+  /// on adds manifest/WAL writes outside the counted cost clocks, so
+  /// counters still match and only wall-clock changes.
+  bool file_durable = false;
+  /// WAL fsync policy of durable `kFile` engines (inert unless
+  /// `file_durable`). `kNone` keeps measurement wall-clock free of
+  /// fsync stalls; `kBatch`/`kAlways` price real durability.
+  FileWalSync file_wal_sync = FileWalSync::kNone;
+  /// When true, each measurement additionally times a crash-free
+  /// recovery: after the measured run the engine closes cleanly, a
+  /// second engine reopens the same file set (`reopen=true`, manifest
+  /// replay + WAL tail replay, no run rebuilds), and the wall-clock of
+  /// that reopen lands in `Measurement::recovery_ns`. Requires
+  /// `file_durable`.
+  bool measure_recovery = false;
   /// Serving mode of measurement runs. `kClosedLoop` (the default) is
   /// bit-identical to the pre-gateway evaluator; `kGateway` serves the
   /// query phase through `serve::Gateway` with open-loop Poisson

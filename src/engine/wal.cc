@@ -1,0 +1,81 @@
+#include "engine/wal.h"
+
+namespace camal::engine::fileio {
+
+namespace {
+
+// Wire layout of one entry inside a WAL record: key, value, flags (bit 0:
+// tombstone) — the same 24-byte triple the run files use.
+constexpr uint64_t kTombstoneFlag = 1;
+
+}  // namespace
+
+Wal::Wal(FileOps* ops, const std::string& shard_dir, WalSyncPolicy policy)
+    : ops_(ops), path_(PathFor(shard_dir)), policy_(policy),
+      writer_(std::make_unique<RecordWriter>(ops, path_)) {}
+
+void Wal::Append(uint64_t epoch, const lsm::Entry* entries, size_t n) {
+  if (n == 0) return;
+  ByteWriter w;
+  w.U64(epoch);
+  w.U32(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    w.U64(entries[i].key);
+    w.U64(entries[i].value);
+    w.U64(entries[i].tombstone ? kTombstoneFlag : 0);
+  }
+  writer_->Append(w.str());
+  if (policy_ == WalSyncPolicy::kAlways) {
+    writer_->Commit();
+    writer_->Sync();
+  }
+}
+
+void Wal::Commit() {
+  if (!writer_->has_pending()) return;  // nothing new: no write, no sync
+  writer_->Commit();
+  if (policy_ != WalSyncPolicy::kNone) writer_->Sync();
+}
+
+void Wal::Sync() { writer_->Sync(); }
+
+void Wal::Reset() { writer_->Reset(); }
+
+void Wal::TruncateTail(uint64_t valid_bytes) {
+  writer_->TruncateTo(valid_bytes);
+}
+
+WalReplay ReadWal(const std::string& path) {
+  WalReplay out;
+  RecordFileContents log = ReadRecordFile(path);
+  out.exists = log.exists;
+  if (!log.exists) return out;
+
+  uint64_t offset = 0;
+  for (const std::string& payload : log.records) {
+    ByteReader r(payload);
+    WalReplayRecord rec;
+    rec.epoch = r.U64();
+    const uint32_t n = r.U32();
+    rec.entries.reserve(n);
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      lsm::Entry e;
+      e.key = r.U64();
+      e.value = r.U64();
+      e.tombstone = (r.U64() & kTombstoneFlag) != 0;
+      rec.entries.push_back(e);
+    }
+    if (!r.ok() || !r.AtEnd()) {
+      // CRC-valid but undecodable: treat as the start of a torn tail.
+      log.torn_tail = true;
+      break;
+    }
+    offset += 8 + payload.size();
+    out.records.push_back(std::move(rec));
+  }
+  out.valid_bytes = offset;
+  out.tail_torn = log.torn_tail || offset != log.valid_bytes;
+  return out;
+}
+
+}  // namespace camal::engine::fileio

@@ -1,0 +1,49 @@
+#include "util/crc32c.h"
+
+namespace camal::util {
+
+namespace {
+
+/// 256-entry lookup table for the reflected Castagnoli polynomial,
+/// generated once at first use (trivially race-free: C++11 static-local
+/// initialization).
+struct Crc32cTable {
+  uint32_t entries[256];
+
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const Crc32cTable& table = Table();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t MaskedCrc32c(const void* data, size_t n) {
+  // Rotate-and-add masking (the LevelDB constant): invertible, cheap, and
+  // guarantees a stored masked CRC never equals the raw CRC of the bytes
+  // that contain it.
+  const uint32_t crc = Crc32c(data, n);
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+}  // namespace camal::util

@@ -1,0 +1,25 @@
+#ifndef CAMAL_UTIL_CRC32C_H_
+#define CAMAL_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace camal::util {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) over
+/// `n` bytes, continuing from `seed` (pass the previous call's return value
+/// to checksum discontiguous spans as one stream; 0 starts a fresh CRC).
+/// Software slice-by-one implementation — the durability logs it protects
+/// (manifest records, WAL frames) are tiny compared to the run-file I/O
+/// around them, so hardware CRC instructions would not be measurable here.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+/// `Crc32c` xor-folded with a fixed mask, in the spirit of the
+/// LevelDB/RocksDB masked CRC: a log record whose payload itself embeds
+/// CRCs (e.g. a manifest snapshot carrying Bloom words) never accidentally
+/// frames a valid-looking record at a misaligned offset.
+uint32_t MaskedCrc32c(const void* data, size_t n);
+
+}  // namespace camal::util
+
+#endif  // CAMAL_UTIL_CRC32C_H_

@@ -1,0 +1,437 @@
+// Per-shard manifest and its CRC-framed record-log substrate
+// (engine::fileio): frame round-trips, CRC rejection of flipped bytes,
+// torn-tail detection and truncation, replay of every record type,
+// rotate-and-rename atomicity (including a failed rename), and the
+// empty/corrupt-header files that must recover to the empty state.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/file_ops.h"
+#include "engine/manifest.h"
+#include "engine/record_log.h"
+
+namespace camal::engine::fileio {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestBase() {
+  if (const char* env = std::getenv("CAMAL_FILE_WORKDIR")) return env;
+  return ::testing::TempDir();
+}
+
+/// A fresh shard-style directory per test.
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TestBase() + "/camal_manifest_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+uint64_t FileSize(const std::string& path) {
+  return static_cast<uint64_t>(fs::file_size(path));
+}
+
+/// Truncates or corrupts a file in place (the crash/bit-rot primitive of
+/// this suite; plain stdio, outside any FileOps seam).
+void TruncateFile(const std::string& path, uint64_t size) {
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(size)), 0);
+}
+
+void FlipByte(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+lsm::Options TestOptions() {
+  lsm::Options opts;
+  opts.size_ratio = 6.0;
+  opts.buffer_bytes = 64 * 128;
+  opts.bloom_bits = 8 * 4000;
+  opts.block_cache_bytes = 8 * 4096;
+  opts.policy = lsm::CompactionPolicy::kTiering;
+  opts.runs_per_level = 3;
+  opts.file_bytes = 1 << 20;
+  opts.io_queue_depth = 4;
+  return opts;
+}
+
+void ExpectOptionsEq(const lsm::Options& a, const lsm::Options& b) {
+  EXPECT_DOUBLE_EQ(a.size_ratio, b.size_ratio);
+  EXPECT_EQ(a.entry_bytes, b.entry_bytes);
+  EXPECT_EQ(a.buffer_bytes, b.buffer_bytes);
+  EXPECT_EQ(a.bloom_bits, b.bloom_bits);
+  EXPECT_EQ(a.block_cache_bytes, b.block_cache_bytes);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.runs_per_level, b.runs_per_level);
+  EXPECT_EQ(a.file_bytes, b.file_bytes);
+  EXPECT_EQ(a.io_queue_depth, b.io_queue_depth);
+}
+
+ManifestRunMeta TestRun(uint64_t id, uint64_t entries) {
+  ManifestRunMeta run;
+  run.id = id;
+  run.num_entries = entries;
+  run.min_key = 2;
+  run.max_key = 2 * entries;
+  run.fence = {2, 100, 300, 2 * entries};
+  run.bloom_bits = 512;
+  run.bloom_hashes = 5;
+  run.bloom_bpk = 8.0;
+  run.bloom_words = {0xdeadbeefULL, 0x12345678ULL,
+                     0xfeedface00000000ULL + id, 0};
+  return run;
+}
+
+void ExpectRunEq(const ManifestRunMeta& a, const ManifestRunMeta& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.num_entries, b.num_entries);
+  EXPECT_EQ(a.min_key, b.min_key);
+  EXPECT_EQ(a.max_key, b.max_key);
+  EXPECT_EQ(a.fence, b.fence);
+  EXPECT_EQ(a.bloom_bits, b.bloom_bits);
+  EXPECT_EQ(a.bloom_hashes, b.bloom_hashes);
+  EXPECT_DOUBLE_EQ(a.bloom_bpk, b.bloom_bpk);
+  EXPECT_EQ(a.bloom_words, b.bloom_words);
+}
+
+// ------------------------------------------------------------- record log
+
+TEST_F(ManifestTest, RecordFileRoundTrip) {
+  const std::string path = dir_ + "/log";
+  const std::vector<std::string> payloads = {
+      "first", std::string(1, '\0'), "", std::string(5000, 'x'), "tail"};
+  {
+    RecordWriter w(FileOps::Real(), path);
+    for (const auto& p : payloads) w.Append(p);
+    EXPECT_TRUE(w.has_pending());
+    EXPECT_EQ(w.committed_bytes(), 0u);  // nothing on disk pre-commit
+    w.Commit();
+    EXPECT_FALSE(w.has_pending());
+    EXPECT_EQ(w.appended_records(), payloads.size());
+  }
+  const RecordFileContents got = ReadRecordFile(path);
+  ASSERT_TRUE(got.exists);
+  EXPECT_FALSE(got.torn_tail);
+  EXPECT_EQ(got.valid_bytes, FileSize(path));
+  ASSERT_EQ(got.records.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(got.records[i], payloads[i]) << "record " << i;
+  }
+}
+
+TEST_F(ManifestTest, WriterResumesAppendOffsetAcrossReopen) {
+  const std::string path = dir_ + "/log";
+  {
+    RecordWriter w(FileOps::Real(), path);
+    w.Append("one");
+    w.Commit();
+  }
+  {
+    RecordWriter w(FileOps::Real(), path);  // reopens at existing size
+    w.Append("two");
+    w.Commit();
+  }
+  const RecordFileContents got = ReadRecordFile(path);
+  ASSERT_EQ(got.records.size(), 2u);
+  EXPECT_EQ(got.records[0], "one");
+  EXPECT_EQ(got.records[1], "two");
+}
+
+TEST_F(ManifestTest, AbsentAndEmptyFilesParseCleanly) {
+  const RecordFileContents absent = ReadRecordFile(dir_ + "/nope");
+  EXPECT_FALSE(absent.exists);
+  EXPECT_TRUE(absent.records.empty());
+
+  { std::ofstream(dir_ + "/empty").flush(); }
+  const RecordFileContents empty = ReadRecordFile(dir_ + "/empty");
+  EXPECT_TRUE(empty.exists);
+  EXPECT_TRUE(empty.records.empty());
+  EXPECT_FALSE(empty.torn_tail);
+  EXPECT_EQ(empty.valid_bytes, 0u);
+}
+
+TEST_F(ManifestTest, CrcRejectsFlippedPayloadByte) {
+  const std::string path = dir_ + "/log";
+  uint64_t first_frame = 0;
+  {
+    RecordWriter w(FileOps::Real(), path);
+    w.Append("good record");
+    w.Commit();
+    first_frame = w.committed_bytes();
+    w.Append("soon to be damaged");
+    w.Append("unreachable after the damage");
+    w.Commit();
+  }
+  // Flip one payload byte of the middle record: its CRC must reject it,
+  // and everything after it is untrusted tail by the append-only rule.
+  FlipByte(path, first_frame + 8 + 2);
+  const RecordFileContents got = ReadRecordFile(path);
+  ASSERT_TRUE(got.exists);
+  EXPECT_TRUE(got.torn_tail);
+  ASSERT_EQ(got.records.size(), 1u);
+  EXPECT_EQ(got.records[0], "good record");
+  EXPECT_EQ(got.valid_bytes, first_frame);
+}
+
+TEST_F(ManifestTest, TornTailDetectedAndTruncatable) {
+  const std::string path = dir_ + "/log";
+  uint64_t two_frames = 0;
+  {
+    RecordWriter w(FileOps::Real(), path);
+    w.Append("alpha");
+    w.Append("beta");
+    w.Commit();
+    two_frames = w.committed_bytes();
+    w.Append("gamma-torn-by-the-crash");
+    w.Commit();
+  }
+  // Crash mid-write: only part of the last frame reached the platter.
+  TruncateFile(path, two_frames + 11);
+  {
+    const RecordFileContents got = ReadRecordFile(path);
+    EXPECT_TRUE(got.torn_tail);
+    ASSERT_EQ(got.records.size(), 2u);
+    EXPECT_EQ(got.valid_bytes, two_frames);
+  }
+  // Recovery repair: truncate at the parse point, then keep appending —
+  // the log is whole again.
+  {
+    RecordWriter w(FileOps::Real(), path);
+    w.TruncateTo(two_frames);
+    w.Append("delta");
+    w.Commit();
+  }
+  const RecordFileContents healed = ReadRecordFile(path);
+  EXPECT_FALSE(healed.torn_tail);
+  ASSERT_EQ(healed.records.size(), 3u);
+  EXPECT_EQ(healed.records[2], "delta");
+}
+
+TEST_F(ManifestTest, AbsurdLengthHeaderIsATornTail) {
+  const std::string path = dir_ + "/log";
+  {
+    RecordWriter w(FileOps::Real(), path);
+    w.Append("fine");
+    w.Commit();
+  }
+  // Append garbage that claims a multi-GB payload: the reader must stop
+  // at the claim, not try to allocate it.
+  {
+    std::ofstream f(path, std::ios::app | std::ios::binary);
+    const uint32_t absurd = 0x7fffffffu;
+    f.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+    f.write("junkjunk", 8);
+  }
+  const RecordFileContents got = ReadRecordFile(path);
+  EXPECT_TRUE(got.torn_tail);
+  ASSERT_EQ(got.records.size(), 1u);
+}
+
+// --------------------------------------------------------------- manifest
+
+TEST_F(ManifestTest, ReplaysInitFlushCompactOptions) {
+  const lsm::Options opts = TestOptions();
+  {
+    Manifest m(FileOps::Real(), dir_, /*sync=*/false);
+    m.LogInit(7, opts);
+    m.LogFlush(/*new_epoch=*/1, TestRun(1, 64));
+    m.LogFlush(/*new_epoch=*/2, TestRun(2, 64));
+    // Compact runs 1+2 of level 0 into run 3 of level 1 — one record.
+    m.LogCompact(0, {1, 2}, {TestRun(3, 128)});
+    lsm::Options retuned = opts;
+    retuned.buffer_bytes *= 2;
+    m.LogOptions(retuned);
+    EXPECT_EQ(m.record_count(), 5u);
+  }
+  RecoveredShardState st;
+  ASSERT_TRUE(RecoverManifest(Manifest::PathFor(dir_), &st));
+  EXPECT_TRUE(st.valid);
+  EXPECT_FALSE(st.tail_torn);
+  EXPECT_EQ(st.num_records, 5u);
+  EXPECT_EQ(st.wal_epoch, 2u);
+  EXPECT_EQ(st.next_run_id, 4u);  // one past the largest id ever logged
+  EXPECT_FALSE(st.hibernated);
+  // Level 0 emptied by the compaction; level 1 holds the output.
+  ASSERT_EQ(st.levels.size(), 2u);
+  EXPECT_TRUE(st.levels[0].empty());
+  ASSERT_EQ(st.levels[1].size(), 1u);
+  ExpectRunEq(st.levels[1][0], TestRun(3, 128));
+  lsm::Options retuned = TestOptions();
+  retuned.buffer_bytes *= 2;
+  ExpectOptionsEq(st.options, retuned);
+}
+
+TEST_F(ManifestTest, ReplaysHibernateAndWake) {
+  {
+    Manifest m(FileOps::Real(), dir_, /*sync=*/false);
+    m.LogInit(0, TestOptions());
+    m.LogFlush(1, TestRun(1, 64));
+    m.LogHibernate(/*memtable_entries=*/17, {{1, 64}});
+  }
+  RecoveredShardState st;
+  ASSERT_TRUE(RecoverManifest(Manifest::PathFor(dir_), &st));
+  EXPECT_TRUE(st.hibernated);
+  EXPECT_EQ(st.hib_memtable_entries, 17u);
+  ASSERT_EQ(st.hib_shape.size(), 1u);
+  EXPECT_EQ(st.hib_shape[0], (std::pair<uint64_t, uint64_t>{1, 64}));
+
+  {
+    Manifest m(FileOps::Real(), dir_, /*sync=*/false, st.num_records);
+    m.LogWake();
+  }
+  RecoveredShardState awake;
+  ASSERT_TRUE(RecoverManifest(Manifest::PathFor(dir_), &awake));
+  EXPECT_FALSE(awake.hibernated);
+  ASSERT_EQ(awake.levels.size(), 1u);  // runs survive the round trip
+  ExpectRunEq(awake.levels[0][0], TestRun(1, 64));
+}
+
+TEST_F(ManifestTest, AbsentOrEmptyManifestRecoversToEmptyState) {
+  RecoveredShardState st;
+  EXPECT_FALSE(RecoverManifest(Manifest::PathFor(dir_), &st));
+  EXPECT_FALSE(st.valid);
+
+  { std::ofstream(Manifest::PathFor(dir_)).flush(); }
+  EXPECT_FALSE(RecoverManifest(Manifest::PathFor(dir_), &st));
+  EXPECT_FALSE(st.valid);
+}
+
+TEST_F(ManifestTest, CorruptHeaderRecoversToEmptyState) {
+  // Garbage from byte 0: no record ever replays, so the shard must be
+  // treated as never-initialized, not half-recovered.
+  {
+    std::ofstream f(Manifest::PathFor(dir_), std::ios::binary);
+    f << "this is not a manifest at all, not even close";
+  }
+  RecoveredShardState st;
+  EXPECT_FALSE(RecoverManifest(Manifest::PathFor(dir_), &st));
+  EXPECT_FALSE(st.valid);
+}
+
+TEST_F(ManifestTest, TornTailKeepsThePrefixState) {
+  uint64_t before_compact = 0;
+  {
+    Manifest m(FileOps::Real(), dir_, /*sync=*/false);
+    m.LogInit(0, TestOptions());
+    m.LogFlush(1, TestRun(1, 64));
+    before_compact = FileSize(m.path());
+    m.LogCompact(0, {1}, {TestRun(2, 64)});
+  }
+  // Tear the compact record in half: recovery must land on the pre-compact
+  // state (run 1 still live) and report the truncation point.
+  TruncateFile(Manifest::PathFor(dir_), before_compact + 7);
+  RecoveredShardState st;
+  ASSERT_TRUE(RecoverManifest(Manifest::PathFor(dir_), &st));
+  EXPECT_TRUE(st.tail_torn);
+  EXPECT_EQ(st.valid_bytes, before_compact);
+  ASSERT_EQ(st.levels.size(), 1u);
+  ASSERT_EQ(st.levels[0].size(), 1u);
+  EXPECT_EQ(st.levels[0][0].id, 1u);
+  // The torn record's output id was never applied, so id 2 is free again
+  // (recovery's orphan sweep removes any run_2 file the crashed process
+  // left behind before the id is handed out anew).
+  EXPECT_EQ(st.next_run_id, 2u);
+}
+
+TEST_F(ManifestTest, RotationCompactsToOneSnapshotRecord) {
+  RecoveredShardState st;
+  {
+    Manifest m(FileOps::Real(), dir_, /*sync=*/false);
+    m.LogInit(3, TestOptions());
+    for (uint64_t i = 1; i <= 6; ++i) m.LogFlush(i, TestRun(i, 64));
+    m.LogCompact(0, {1, 2, 3, 4, 5, 6}, {TestRun(7, 384)});
+    ASSERT_TRUE(RecoverManifest(m.path(), &st));
+    const uint64_t long_log = FileSize(m.path());
+    ASSERT_TRUE(m.Rotate(st));
+    EXPECT_EQ(m.record_count(), 1u);
+    EXPECT_LT(FileSize(m.path()), long_log);
+    EXPECT_FALSE(fs::exists(m.path() + ".tmp"));
+  }
+  // The one-record log replays to the identical state.
+  RecoveredShardState after;
+  ASSERT_TRUE(RecoverManifest(Manifest::PathFor(dir_), &after));
+  EXPECT_EQ(after.num_records, 1u);
+  EXPECT_EQ(after.wal_epoch, st.wal_epoch);
+  EXPECT_EQ(after.next_run_id, st.next_run_id);
+  ASSERT_EQ(after.levels.size(), st.levels.size());
+  for (size_t l = 0; l < st.levels.size(); ++l) {
+    ASSERT_EQ(after.levels[l].size(), st.levels[l].size()) << "level " << l;
+    for (size_t r = 0; r < st.levels[l].size(); ++r) {
+      ExpectRunEq(after.levels[l][r], st.levels[l][r]);
+    }
+  }
+  ExpectOptionsEq(after.options, st.options);
+}
+
+TEST_F(ManifestTest, MaybeRotateHonorsThreshold) {
+  Manifest m(FileOps::Real(), dir_, /*sync=*/false);
+  m.LogInit(0, TestOptions());
+  m.LogFlush(1, TestRun(1, 64));
+  RecoveredShardState st;
+  ASSERT_TRUE(RecoverManifest(m.path(), &st));
+  EXPECT_FALSE(m.MaybeRotate(st, /*rotate_records=*/16));  // under threshold
+  EXPECT_FALSE(m.MaybeRotate(st, /*rotate_records=*/2));   // at, not past
+  EXPECT_EQ(m.record_count(), 2u);
+  EXPECT_TRUE(m.MaybeRotate(st, /*rotate_records=*/1));  // past threshold
+  EXPECT_EQ(m.record_count(), 1u);
+}
+
+/// Fails every rename — the rotation commit point.
+class RenameFailsOps : public FileOps {
+ public:
+  int Rename(const std::string&, const std::string&) override {
+    ++attempts_;
+    errno = EIO;
+    return -1;
+  }
+  int attempts() const { return attempts_; }
+
+ private:
+  int attempts_ = 0;
+};
+
+TEST_F(ManifestTest, FailedRotationRenameKeepsOldLogAuthoritative) {
+  RecoveredShardState st;
+  RenameFailsOps ops;
+  {
+    Manifest m(&ops, dir_, /*sync=*/false);
+    m.LogInit(0, TestOptions());
+    m.LogFlush(1, TestRun(1, 64));
+    const size_t records_before = m.record_count();
+    ASSERT_TRUE(RecoverManifest(m.path(), &st));
+    EXPECT_FALSE(m.Rotate(st));  // rename failed: rotation rolled back
+    EXPECT_EQ(ops.attempts(), 1);
+    EXPECT_EQ(m.record_count(), records_before);
+    // The tmp snapshot is cleaned up; the old log is untouched on disk.
+    EXPECT_FALSE(fs::exists(m.path() + ".tmp"));
+    // The writer still appends to the *old* log after the failure.
+    m.LogFlush(2, TestRun(2, 64));
+  }
+  RecoveredShardState after;
+  ASSERT_TRUE(RecoverManifest(Manifest::PathFor(dir_), &after));
+  EXPECT_EQ(after.wal_epoch, 2u);
+  ASSERT_EQ(after.levels[0].size(), 2u);
+}
+
+}  // namespace
+}  // namespace camal::engine::fileio
